@@ -1,0 +1,369 @@
+// Benchmarks regenerating the paper's evaluation (Section 7), one per
+// table and figure. Time-based figures report ns/op directly; label
+// length figures attach bits as custom metrics (max_bits, avg_bits).
+// The full paper-style sweeps with all data points are produced by
+// cmd/wfbench (see EXPERIMENTS.md).
+package wfreach_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach"
+)
+
+const benchRunSize = 8192
+
+func benchRun(b *testing.B, s *wfreach.Spec, size int, seed int64) (*wfreach.Grammar, *wfreach.Run) {
+	b.Helper()
+	g, err := wfreach.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := wfreach.Generate(g, wfreach.GenOptions{TargetSize: size, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, r
+}
+
+func reportLabelBits(b *testing.B, g *wfreach.Grammar, d *wfreach.DerivationLabeler, r *wfreach.Run) {
+	b.Helper()
+	codec := wfreach.NewLabelCodec(g)
+	maxBits, total, n := 0, 0, 0
+	for _, v := range r.Graph.LiveVertices() {
+		bits := codec.BitLen(d.MustLabel(v))
+		if bits > maxBits {
+			maxBits = bits
+		}
+		total += bits
+		n++
+	}
+	b.ReportMetric(float64(maxBits), "max_bits")
+	b.ReportMetric(float64(total)/float64(n), "avg_bits")
+}
+
+// BenchmarkFig01Compactness measures the maximum label length per
+// graph class (Figure 1's landscape): Θ(log n) for static and dynamic
+// linear-recursive runs, Θ(n) for dynamic recursive runs and DAGs.
+func BenchmarkFig01Compactness(b *testing.B) {
+	b.Run("linear-DRL", func(b *testing.B) {
+		g, r := benchRun(b, wfreach.BioAID(), 4096, 1)
+		var d *wfreach.DerivationLabeler
+		for i := 0; i < b.N; i++ {
+			var err error
+			if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportLabelBits(b, g, d, r)
+	})
+	b.Run("recursive-DRL", func(b *testing.B) {
+		g, err := wfreach.Compile(wfreach.LowerBoundGrammar())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := wfreach.Generate(g, wfreach.GenOptions{TargetSize: 4096, Seed: 1, DepthFirst: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d *wfreach.DerivationLabeler
+		for i := 0; i < b.N; i++ {
+			if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportLabelBits(b, g, d, r)
+	})
+	b.Run("dag-TCL", func(b *testing.B) {
+		g, r := benchRun(b, wfreach.BioAID(), 4096, 1)
+		_ = g
+		evs, err := r.Execution(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxBits int
+		for i := 0; i < b.N; i++ {
+			l := wfreach.NewTCLDynamic()
+			for _, ev := range evs {
+				if _, err := l.Insert(ev.V, ev.Preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			maxBits = l.MaxBits()
+		}
+		b.ReportMetric(float64(maxBits), "max_bits")
+	})
+}
+
+// BenchmarkTable2SpecOverhead times labeling the specification itself
+// and reports the skeleton sizes of Table 2.
+func BenchmarkTable2SpecOverhead(b *testing.B) {
+	b.Run("DRL-TCL", func(b *testing.B) {
+		g, err := wfreach.Compile(wfreach.BioAID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bits := 0
+		for i := 0; i < b.N; i++ {
+			d := wfreach.NewDerivationLabeler(g, wfreach.TCL, wfreach.RModeDesignated)
+			bits = d.Skeleton().Bits()
+		}
+		b.ReportMetric(float64(bits), "skeleton_bits")
+	})
+	b.Run("SKL-TCL", func(b *testing.B) {
+		// SKL's preprocessing as seen through the public API: the full
+		// static build over a minimal run, which includes inlining the
+		// global specification and labeling its 106 vertices (the
+		// 5565-bit skeleton of Table 2). The harness's `wfbench -only
+		// table2` isolates the skeleton-only cost.
+		g, r := benchRun(b, wfreach.BioAIDNonRecursive(), 1024, 1)
+		_ = g
+		var bits int
+		for i := 0; i < b.N; i++ {
+			s, err := wfreach.BuildSKL(r, wfreach.TCL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bits = s.SkeletonBits()
+		}
+		b.ReportMetric(float64(bits), "skeleton_bits")
+	})
+}
+
+// BenchmarkFig14LabelLength labels a BioAID run and reports the
+// logarithmic label sizes of Figure 14.
+func BenchmarkFig14LabelLength(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAID(), benchRunSize, 14)
+	var d *wfreach.DerivationLabeler
+	var err error
+	for i := 0; i < b.N; i++ {
+		if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLabelBits(b, g, d, r)
+}
+
+// BenchmarkFig15Construction compares total construction time of the
+// derivation-based and execution-based labelers (Figure 15).
+func BenchmarkFig15Construction(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAID(), benchRunSize, 15)
+	evs, err := r.Execution(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("derivation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(r.Size()), "ns/vertex")
+	})
+	b.Run("execution", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wfreach.LabelExecution(g, evs, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(r.Size()), "ns/vertex")
+	})
+}
+
+func queryBench(b *testing.B, r *wfreach.Run, reach func(v, w wfreach.VertexID) bool) {
+	b.Helper()
+	live := r.Graph.LiveVertices()
+	rng := rand.New(rand.NewSource(16))
+	pairs := make([][2]wfreach.VertexID, 4096)
+	for i := range pairs {
+		pairs[i] = [2]wfreach.VertexID{live[rng.Intn(len(live))], live[rng.Intn(len(live))]}
+	}
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != reach(p[0], p[1])
+	}
+	_ = sink
+}
+
+// BenchmarkFig16QueryTime measures constant-time queries for DRL under
+// both skeleton schemes (Figure 16).
+func BenchmarkFig16QueryTime(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAID(), benchRunSize, 16)
+	_ = g
+	for _, kind := range []wfreach.SkeletonKind{wfreach.TCL, wfreach.BFS} {
+		d, err := wfreach.LabelRun(r, kind, wfreach.RModeDesignated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("DRL-"+kind.String(), func(b *testing.B) { queryBench(b, r, d.Reach) })
+	}
+}
+
+// BenchmarkFig17VaryingSize sweeps the sub-workflow size (Figure 17).
+func BenchmarkFig17VaryingSize(b *testing.B) {
+	for _, sub := range []int{10, 40, 160} {
+		b.Run(sizeTag("sub", sub), func(b *testing.B) {
+			s := wfreach.Synthetic(wfreach.SyntheticParams{SubSize: sub, Depth: 5, RecModules: 1, Seed: int64(sub)})
+			g, r := benchRun(b, s, 5120, 17)
+			var d *wfreach.DerivationLabeler
+			var err error
+			for i := 0; i < b.N; i++ {
+				if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportLabelBits(b, g, d, r)
+		})
+	}
+}
+
+// BenchmarkFig18VaryingDepth sweeps the nesting depth (Figure 18).
+func BenchmarkFig18VaryingDepth(b *testing.B) {
+	for _, depth := range []int{5, 15, 25} {
+		b.Run(sizeTag("depth", depth), func(b *testing.B) {
+			s := wfreach.Synthetic(wfreach.SyntheticParams{SubSize: 20, Depth: depth, RecModules: 1, Seed: int64(depth)})
+			g, r := benchRun(b, s, 5120, 18)
+			var d *wfreach.DerivationLabeler
+			var err error
+			for i := 0; i < b.N; i++ {
+				if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportLabelBits(b, g, d, r)
+		})
+	}
+}
+
+// BenchmarkFig19Nonlinear compares linear and nonlinear recursion
+// (Figure 19).
+func BenchmarkFig19Nonlinear(b *testing.B) {
+	for _, rec := range []int{1, 2} {
+		name := "linear"
+		if rec == 2 {
+			name = "nonlinear"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := wfreach.Synthetic(wfreach.SyntheticParams{SubSize: 20, Depth: 5, RecModules: rec, Seed: 40})
+			g, r := benchRun(b, s, benchRunSize, 19)
+			var d *wfreach.DerivationLabeler
+			var err error
+			for i := 0; i < b.N; i++ {
+				if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportLabelBits(b, g, d, r)
+		})
+	}
+}
+
+// BenchmarkFig20DRLvsSKL compares maximum label lengths (Figure 20).
+func BenchmarkFig20DRLvsSKL(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAIDNonRecursive(), benchRunSize, 20)
+	b.Run("DRL", func(b *testing.B) {
+		var d *wfreach.DerivationLabeler
+		var err error
+		for i := 0; i < b.N; i++ {
+			if d, err = wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportLabelBits(b, g, d, r)
+	})
+	b.Run("SKL", func(b *testing.B) {
+		var s *wfreach.SKL
+		var err error
+		for i := 0; i < b.N; i++ {
+			if s, err = wfreach.BuildSKL(r, wfreach.TCL); err != nil {
+				b.Fatal(err)
+			}
+		}
+		maxBits := 0
+		for _, v := range r.Graph.LiveVertices() {
+			if bits := s.BitLen(s.MustLabel(v)); bits > maxBits {
+				maxBits = bits
+			}
+		}
+		b.ReportMetric(float64(maxBits), "max_bits")
+	})
+}
+
+// BenchmarkFig21Construction compares construction times of DRL (both
+// variants) and SKL (Figure 21).
+func BenchmarkFig21Construction(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAIDNonRecursive(), benchRunSize, 21)
+	evs, err := r.Execution(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DRL-derivation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DRL-execution", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wfreach.LabelExecution(g, evs, wfreach.TCL, wfreach.RModeDesignated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SKL-static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wfreach.BuildSKL(r, wfreach.TCL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig22QueryTime measures all four scheme/skeleton query
+// combinations (Figure 22).
+func BenchmarkFig22QueryTime(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAIDNonRecursive(), benchRunSize, 22)
+	_ = g
+	dTCL, err := wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dBFS, err := wfreach.LabelRun(r, wfreach.BFS, wfreach.RModeDesignated)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sTCL, err := wfreach.BuildSKL(r, wfreach.TCL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sBFS, err := wfreach.BuildSKL(r, wfreach.BFS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DRL-TCL", func(b *testing.B) { queryBench(b, r, dTCL.Reach) })
+	b.Run("DRL-BFS", func(b *testing.B) { queryBench(b, r, dBFS.Reach) })
+	b.Run("SKL-TCL", func(b *testing.B) { queryBench(b, r, sTCL.Reach) })
+	b.Run("SKL-BFS", func(b *testing.B) { queryBench(b, r, sBFS.Reach) })
+}
+
+func sizeTag(prefix string, n int) string {
+	return prefix + "=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

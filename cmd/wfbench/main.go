@@ -1,0 +1,90 @@
+// Command wfbench regenerates the paper's evaluation (Section 7): it
+// runs every figure and table experiment and prints Markdown tables
+// with the measured series alongside the paper's reference
+// expectations.
+//
+// Usage:
+//
+//	wfbench [-samples N] [-queries N] [-max SIZE] [-quick] [-only fig14,fig20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wfreach/internal/bench"
+)
+
+func main() {
+	samples := flag.Int("samples", 5, "random runs averaged per data point")
+	queries := flag.Int("queries", 100000, "random queries per query-time measurement")
+	maxSize := flag.Int("max", 32*1024, "largest run size of the 1K..32K sweeps")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke pass")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig14,fig20,table2)")
+	csvDir := flag.String("csv", "", "also write one plot-ready CSV per experiment into this directory")
+	flag.Parse()
+
+	cfg := bench.Config{Samples: *samples, Queries: *queries, MaxSize: *maxSize, Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+
+	all := map[string]func(bench.Config) *bench.Table{
+		"fig01": bench.Fig01, "table2": bench.Table2,
+		"fig14": bench.Fig14, "fig15": bench.Fig15, "fig16": bench.Fig16,
+		"fig17": bench.Fig17, "fig18": bench.Fig18, "fig19": bench.Fig19,
+		"fig20": bench.Fig20, "fig21": bench.Fig21, "fig22": bench.Fig22,
+		"ablR": bench.AblationR, "ablEnc": bench.AblationEncoding,
+		"ablSkel": bench.AblationSkeleton, "ex15": bench.Example15,
+	}
+	order := []string{"fig01", "table2", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "ablR", "ablEnc", "ablSkel", "ex15"}
+
+	for id := range want {
+		if _, ok := all[id]; !ok {
+			fmt.Fprintf(os.Stderr, "wfbench: unknown experiment %q (known: %s)\n",
+				id, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("# wfreach evaluation — %s\n\n", time.Now().Format(time.RFC1123))
+	fmt.Printf("samples=%d queries=%d max=%d quick=%v\n\n", *samples, *queries, *maxSize, *quick)
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		start := time.Now()
+		t := all[id](cfg)
+		t.Render(os.Stdout)
+		fmt.Printf("_(generated in %.1fs)_\n\n", time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.RenderCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wfbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestWfbenchSelectedExperiments(t *testing.T) {
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-quick", "-samples", "1", "-queries", "1000",
+		"-max", "2048", "-only", "fig14,table2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"## fig14", "## table2", "5565"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "## fig20") {
+		t.Fatal("-only filter leaked other experiments")
+	}
+}
+
+func TestWfbenchUnknownExperiment(t *testing.T) {
+	bin := buildBench(t)
+	if out, err := exec.Command(bin, "-only", "fig99").CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestWfbenchCSVOutput(t *testing.T) {
+	bin := buildBench(t)
+	dir := filepath.Join(t.TempDir(), "csv")
+	out, err := exec.Command(bin, "-quick", "-samples", "1", "-queries", "500",
+		"-max", "2048", "-only", "table2,fig14", "-csv", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, f := range []string{"table2.csv", "fig14.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Fatalf("%s is not CSV:\n%s", f, data)
+		}
+	}
+}

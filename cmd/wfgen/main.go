@@ -1,0 +1,78 @@
+// Command wfgen builds workflow specifications and random runs and
+// stores them as XML (the paper's data format, Section 7.1).
+//
+// Usage:
+//
+//	wfgen -spec bioaid -out spec.xml
+//	wfgen -spec synthetic -subsize 20 -depth 5 -rec 1 -out spec.xml
+//	wfgen -spec running -run run.xml -size 4096 -seed 7 -out spec.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wfreach"
+)
+
+func main() {
+	specName := flag.String("spec", "running", "specification: running | bioaid | bioaid-nonrec | fig6 | fig12 | synthetic")
+	out := flag.String("out", "", "write the specification XML here")
+	runOut := flag.String("run", "", "also generate a run and write its XML here")
+	size := flag.Int("size", 1024, "target run size for -run")
+	seed := flag.Int64("seed", 1, "random seed for -run and synthetic topology")
+	subsize := flag.Int("subsize", 20, "synthetic: sub-workflow size")
+	depth := flag.Int("depth", 5, "synthetic: nesting depth")
+	rec := flag.Int("rec", 1, "synthetic: R modules in the recursive body (1 = linear)")
+	flag.Parse()
+
+	var s *wfreach.Spec
+	switch *specName {
+	case "running":
+		s = wfreach.RunningExample()
+	case "bioaid":
+		s = wfreach.BioAID()
+	case "bioaid-nonrec":
+		s = wfreach.BioAIDNonRecursive()
+	case "fig6":
+		s = wfreach.LowerBoundGrammar()
+	case "fig12":
+		s = wfreach.PathGrammar()
+	case "synthetic":
+		s = wfreach.Synthetic(wfreach.SyntheticParams{
+			SubSize: *subsize, Depth: *depth, RecModules: *rec, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "wfgen: unknown spec %q\n", *specName)
+		os.Exit(2)
+	}
+
+	g, err := wfreach.Compile(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("spec %s: %d graphs, %d vertices total, class %s, min run %d\n",
+		*specName, len(s.Graphs()), g.TotalVertices(), g.Class(), g.MinRunSize())
+
+	if *out != "" {
+		if err := wfreach.SaveSpec(*out, s); err != nil {
+			fmt.Fprintf(os.Stderr, "wfgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *runOut != "" {
+		r, err := wfreach.Generate(g, wfreach.GenOptions{TargetSize: *size, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := wfreach.SaveRun(*runOut, r); err != nil {
+			fmt.Fprintf(os.Stderr, "wfgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d vertices, %d steps)\n", *runOut, r.Size(), len(r.Steps))
+	}
+}

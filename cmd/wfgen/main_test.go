@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfreach"
+)
+
+func buildGen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wfgen")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestWfgenAllBuiltinSpecs(t *testing.T) {
+	bin := buildGen(t)
+	for _, name := range []string{"running", "bioaid", "bioaid-nonrec", "fig6", "fig12", "synthetic"} {
+		out, err := exec.Command(bin, "-spec", name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, out)
+		}
+		if !strings.Contains(string(out), "class") {
+			t.Fatalf("%s: summary missing:\n%s", name, out)
+		}
+	}
+}
+
+func TestWfgenWritesXMLRoundTrip(t *testing.T) {
+	bin := buildGen(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+	out, err := exec.Command(bin, "-spec", "bioaid", "-out", specPath,
+		"-run", runPath, "-size", "256", "-seed", "9").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s, err := wfreach.LoadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wfreach.MustCompile(s)
+	r, err := wfreach.LoadRun(runPath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() < 128 {
+		t.Fatalf("run too small: %d", r.Size())
+	}
+	// The generated run labels correctly end to end.
+	d, err := wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, snk := r.Graph.Sources()[0], r.Graph.Sinks()[0]
+	if !d.Reach(src, snk) {
+		t.Fatal("source must reach sink")
+	}
+}
+
+func TestWfgenSyntheticParams(t *testing.T) {
+	bin := buildGen(t)
+	out, err := exec.Command(bin, "-spec", "synthetic", "-subsize", "12", "-depth", "6", "-rec", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "nonlinear") {
+		t.Fatalf("rec=2 should be nonlinear:\n%s", out)
+	}
+}
+
+func TestWfgenUnknownSpec(t *testing.T) {
+	bin := buildGen(t)
+	if out, err := exec.Command(bin, "-spec", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("unknown spec accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfreach"
+)
+
+// buildOnce compiles the binary under test.
+func buildOnce(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wflabel")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestWflabelGeneratedRunStats(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-size", "300", "-seed", "3", "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"class=linear-recursive", "labels: max", "avg"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWflabelVerifyAndQueries(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-size", "120", "-seed", "1", "-verify", "-query", "0,2", "-query", "2,0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "verified") {
+		t.Fatalf("verification missing:\n%s", s)
+	}
+	if !strings.Contains(s, "reach(0→2) = true") || !strings.Contains(s, "reach(2→0) = false") {
+		t.Fatalf("query answers wrong:\n%s", s)
+	}
+}
+
+func TestWflabelExecutionMode(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-size", "150", "-seed", "2", "-exec", "-bfs", "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "labels: max") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestWflabelLoadsXML(t *testing.T) {
+	bin := buildOnce(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+	s := wfreach.BioAID()
+	if err := wfreach.SaveSpec(specPath, s); err != nil {
+		t.Fatal(err)
+	}
+	g := wfreach.MustCompile(s)
+	r := wfreach.MustGenerate(g, wfreach.GenOptions{TargetSize: 200, Seed: 4})
+	if err := wfreach.SaveRun(runPath, r); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-spec", specPath, "-run", runPath, "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "labels: max") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+}
+
+func TestWflabelErrors(t *testing.T) {
+	bin := buildOnce(t)
+	cases := [][]string{
+		{"-spec", "/nonexistent/spec.xml"},
+		{"-size", "50", "-query", "garbage"},
+		{"-size", "50", "-query", "1"},
+		{"-size", "50", "-query", "999999,0"},
+	}
+	for _, args := range cases {
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Fatalf("args %v should fail:\n%s", args, out)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Named log replay: labeling an execution when the workflow engine
+// logs only module names (no specification-vertex ids). Section 5.3
+// shows this works whenever the specification satisfies two natural
+// naming restrictions — distinct names within each sub-workflow,
+// globally unique source/sink dummies — which any specification can be
+// rewritten to meet. The specification travels as XML, as in the
+// paper's evaluation setup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"wfreach"
+)
+
+func main() {
+	// Persist and reload the specification, as a workflow system would.
+	dir, err := os.MkdirTemp("", "wfreach-namedlog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	specPath := filepath.Join(dir, "bioaid.xml")
+	if err := wfreach.SaveSpec(specPath, wfreach.BioAID()); err != nil {
+		log.Fatal(err)
+	}
+	s, err := wfreach.LoadSpec(specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.NameResolvable(); err != nil {
+		log.Fatalf("spec not name-resolvable: %v", err)
+	}
+	fmt.Println("specification round-tripped through", specPath)
+
+	g, err := wfreach.Compile(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate an engine that reports "<module name> finished, reading
+	// from <vertices>" lines: strip the spec-vertex ids from a real
+	// execution to build the name-only log.
+	r, err := wfreach.Generate(g, wfreach.GenOptions{TargetSize: 2000, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := r.Execution(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logLines := make([]wfreach.NamedEvent, len(events))
+	for i, ev := range events {
+		logLines[i] = wfreach.NamedEvent{V: ev.V, Name: r.NameOf(ev.V), Preds: ev.Preds}
+	}
+	fmt.Printf("engine log: %d lines, names only (e.g. %q, %q, %q)\n",
+		len(logLines), logLines[0].Name, logLines[1].Name, logLines[2].Name)
+
+	// Replay the log through the name-resolving labeler.
+	e, err := wfreach.LabelNamedExecution(g, logLines, wfreach.TCL, wfreach.RModeDesignated)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same labels as the fully-informed derivation-based scheme.
+	d, err := wfreach.LabelRun(r, wfreach.TCL, wfreach.RModeDesignated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := 0
+	for _, v := range r.Graph.LiveVertices() {
+		if el, ok := e.Label(v); ok && el.Equal(d.MustLabel(v)) {
+			same++
+		}
+	}
+	fmt.Printf("labels identical to the derivation-based scheme: %d / %d\n", same, r.Size())
+
+	src, snk := r.Graph.Sources()[0], r.Graph.Sinks()[0]
+	fmt.Printf("provenance from names alone: input reaches output: %v\n", e.Reach(src, snk))
+}

@@ -1,0 +1,38 @@
+package wfreach_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end; each must
+// exit zero and print its headline result.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := map[string]string{
+		"./examples/quickstart": "longest label",
+		"./examples/provenance": "lineage",
+		"./examples/streaming":  "labels identical to the derivation-based scheme",
+		"./examples/nonlinear":  "lower bound is real",
+		"./examples/namedlog":   "provenance from names alone",
+	}
+	for dir, want := range cases {
+		dir, want := dir, want
+		t.Run(strings.TrimPrefix(dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", dir)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("%s output missing %q:\n%s", dir, want, out)
+			}
+		})
+	}
+}

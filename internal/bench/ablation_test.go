@@ -1,0 +1,83 @@
+package bench_test
+
+import (
+	"testing"
+
+	"wfreach/internal/bench"
+)
+
+// TestAblationRShape: disabling R compression must deepen the tree and
+// lengthen labels on deep-recursion runs.
+func TestAblationRShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := bench.AblationR(bench.Config{Samples: 1, Queries: 1, MaxSize: 4096, Quick: true})
+	last := len(tb.Rows) - 1
+	withR := numAt(t, tb, last, 1)
+	depthWithR := numAt(t, tb, last, 2)
+	withoutR := numAt(t, tb, last, 3)
+	depthWithoutR := numAt(t, tb, last, 4)
+	if withoutR <= withR {
+		t.Fatalf("no-R labels (%v) should exceed designated-R labels (%v)", withoutR, withR)
+	}
+	if depthWithoutR <= depthWithR {
+		t.Fatalf("no-R depth (%v) should exceed designated-R depth (%v)", depthWithoutR, depthWithR)
+	}
+	// Lemma 4.1: designated-R depth is grammar-bounded (the synthetic
+	// spec has 5 composite names ⇒ ≤ 2·5 edges ⇒ ≤ 11 levels).
+	if depthWithR > 11 {
+		t.Fatalf("designated-R depth %v exceeds Lemma 4.1's bound", depthWithR)
+	}
+}
+
+// TestAblationEncodingShape: the wire format costs a bounded constant
+// over the word-RAM accounting.
+func TestAblationEncodingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := bench.AblationEncoding(bench.Config{Samples: 1, Queries: 1, MaxSize: 2048, Quick: true})
+	for i := range tb.Rows {
+		acc := numAt(t, tb, i, 1)
+		wire := numAt(t, tb, i, 2)
+		if wire <= acc {
+			t.Fatalf("wire bits (%v) must exceed accounting bits (%v)", wire, acc)
+		}
+		if wire > acc+80 {
+			t.Fatalf("framing overhead too large: %v vs %v", wire, acc)
+		}
+	}
+}
+
+// TestAblationSkeletonShape: TCL stores bits, BFS stores none.
+func TestAblationSkeletonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := bench.AblationSkeleton(bench.Config{Samples: 1, Queries: 2000, MaxSize: 1024, Quick: true})
+	if numAt(t, tb, 0, 1) <= 0 {
+		t.Fatal("TCL skeleton must store bits")
+	}
+	if numAt(t, tb, 1, 1) != 0 {
+		t.Fatal("BFS skeleton must store nothing")
+	}
+}
+
+// TestExample15Shape: the index scheme stays logarithmic while adapted
+// DRL grows on deep Figure 12 derivations.
+func TestExample15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb := bench.Example15(bench.Config{Samples: 1, Queries: 1, MaxSize: 4096, Quick: true})
+	last := len(tb.Rows) - 1
+	idx := numAt(t, tb, last, 1)
+	drl := numAt(t, tb, last, 2)
+	if idx >= 32 {
+		t.Fatalf("index labels should be ≤ log n bits, got %v", idx)
+	}
+	if drl < 4*idx {
+		t.Fatalf("adapted DRL (%v) should dwarf the index scheme (%v) on deep paths", drl, idx)
+	}
+}

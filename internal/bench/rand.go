@@ -1,0 +1,7 @@
+package bench
+
+import "math/rand"
+
+// newRand isolates the harness's randomness behind a seeded source so
+// every experiment is reproducible.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

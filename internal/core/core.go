@@ -1,0 +1,164 @@
+// Package core implements DRL, the paper's dynamic reachability
+// labeling scheme for workflow runs: the derivation-based labeler
+// (Algorithms 2 and 3), the execution-based labeler (Section 5.3), and
+// the query predicate π (Algorithm 4). For linear recursive grammars
+// labels are O(log n) bits, labeling a run takes linear total time,
+// and queries take constant time (Theorem 3). Nonlinear recursive
+// grammars are supported through the Section 6 adaptation, at the cost
+// of linear-size labels in the worst case (Theorem 1).
+package core
+
+import (
+	"fmt"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/parsetree"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+// RMode selects how recursive vertices are compressed (Section 6).
+type RMode uint8
+
+const (
+	// RModeDesignated compresses at most one recursive vertex per
+	// production into R-node chains: the full Section 5 scheme on
+	// linear grammars, and the optimized Section 6 adaptation on
+	// nonlinear ones.
+	RModeDesignated RMode = iota
+	// RModeNone builds the simplified explicit parse tree with no R
+	// nodes, treating every vertex non-recursively (the first
+	// adaptation described in Section 6).
+	RModeNone
+)
+
+func (m RMode) String() string {
+	if m == RModeNone {
+		return "no-R"
+	}
+	return "designated-R"
+}
+
+// base holds the state shared by the derivation-based and
+// execution-based labelers: the explicit parse tree, the issued
+// labels, and the bookkeeping from run vertices to tree instances.
+type base struct {
+	g    *spec.Grammar
+	skel *skeleton.Scheme
+	mode RMode
+
+	root   *parsetree.Node
+	labels map[graph.VertexID]label.Label
+	// ctx maps a run vertex to its context instance and spec vertex
+	// (Definition 11: the instance whose annotated graph contains it).
+	ctx map[graph.VertexID]memberRef
+}
+
+type memberRef struct {
+	node *parsetree.Node
+	sv   graph.VertexID
+}
+
+func newBase(g *spec.Grammar, kind skeleton.Kind, mode RMode) base {
+	return base{
+		g:      g,
+		skel:   skeleton.New(kind, g),
+		mode:   mode,
+		labels: make(map[graph.VertexID]label.Label),
+		ctx:    make(map[graph.VertexID]memberRef),
+	}
+}
+
+// designatedOf returns the R-compressed recursive vertex of a graph
+// under the current mode.
+func (b *base) designatedOf(id spec.GraphID) graph.VertexID {
+	if b.mode == RModeNone {
+		return graph.None
+	}
+	return b.g.Designated(id)
+}
+
+// memberEntry builds the Algorithm 1 entry for spec vertex sv of
+// instance x: the node's index and type, the skeleton pointer of the
+// origin, and — when x's graph has a designated recursive vertex w,
+// which happens exactly when x is a recursion-chain member — the two
+// recursion flags rec1 = π_G(sv, w) and rec2 = π_G(w, sv).
+func (b *base) memberEntry(x *parsetree.Node, sv graph.VertexID) label.Entry {
+	e := label.Entry{Index: x.Index, Type: label.N, Skl: spec.VertexRef{Graph: x.Graph, V: sv}}
+	if w := b.designatedOf(x.Graph); w != graph.None {
+		e.HasRec = true
+		e.Rec1 = b.skel.Pi(spec.VertexRef{Graph: x.Graph, V: sv}, spec.VertexRef{Graph: x.Graph, V: w})
+		e.Rec2 = b.skel.Pi(spec.VertexRef{Graph: x.Graph, V: w}, spec.VertexRef{Graph: x.Graph, V: sv})
+	}
+	return e
+}
+
+// specialEntry builds the entry of a special node (skl and flags null).
+func specialEntry(x *parsetree.Node) label.Entry {
+	return label.Entry{Index: x.Index, Type: x.Kind, Skl: spec.NoRef}
+}
+
+// bind materializes spec vertex sv of instance x as run vertex v and
+// issues its final reachability label. Labels are immutable: binding
+// an already-labeled vertex panics (it would be a labeler bug).
+func (b *base) bind(x *parsetree.Node, sv, v graph.VertexID) label.Label {
+	if x.RunOf[sv] != graph.None {
+		panic(fmt.Sprintf("core: spec vertex %d of instance already materialized", sv))
+	}
+	if _, dup := b.labels[v]; dup {
+		panic(fmt.Sprintf("core: run vertex %d labeled twice", v))
+	}
+	x.RunOf[sv] = v
+	l := x.Prefix.Append(b.memberEntry(x, sv))
+	b.labels[v] = l
+	b.ctx[v] = memberRef{x, sv}
+	return l
+}
+
+// Label returns the reachability label of a run vertex.
+func (b *base) Label(v graph.VertexID) (label.Label, bool) {
+	l, ok := b.labels[v]
+	return l, ok
+}
+
+// MustLabel returns the label of v, panicking if v was never labeled.
+func (b *base) MustLabel(v graph.VertexID) label.Label {
+	l, ok := b.labels[v]
+	if !ok {
+		panic(fmt.Sprintf("core: vertex %d has no label", v))
+	}
+	return l
+}
+
+// Reach answers v ;* w from the stored labels (π of Algorithm 4).
+func (b *base) Reach(v, w graph.VertexID) bool {
+	return Pi(b.skel, b.MustLabel(v), b.MustLabel(w))
+}
+
+// Pi evaluates π on two labels using this labeler's skeleton scheme.
+func (b *base) Pi(l1, l2 label.Label) bool { return Pi(b.skel, l1, l2) }
+
+// Tree returns the explicit parse tree (nil before the first update).
+func (b *base) Tree() *parsetree.Node { return b.root }
+
+// Skeleton returns the skeleton scheme used by this labeler.
+func (b *base) Skeleton() *skeleton.Scheme { return b.skel }
+
+// Grammar returns the grammar being labeled.
+func (b *base) Grammar() *spec.Grammar { return b.g }
+
+// LabelCount returns the number of labels issued so far.
+func (b *base) LabelCount() int { return len(b.labels) }
+
+// graphOf returns the specification graph of an instance node.
+func (b *base) graphOf(x *parsetree.Node) *graph.Graph {
+	return b.g.Spec().Graph(x.Graph).G
+}
+
+// startRoot creates the root instance annotated with g0.
+func (b *base) startRoot() *parsetree.Node {
+	g0 := b.g.Spec().Graph(spec.StartGraph).G
+	b.root = parsetree.NewRoot(spec.StartGraph, g0.NumVertices())
+	return b.root
+}

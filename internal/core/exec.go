@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/parsetree"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+// ExecutionLabeler is the execution-based dynamic labeling scheme of
+// Section 5.3: it receives one vertex insertion at a time — a run
+// vertex, its predecessors, and the specification vertex it executes
+// (the execution-log mapping) — infers the underlying derivation on
+// the fly, and issues the same labels the derivation-based scheme
+// would, in O(1) per insertion for a fixed grammar.
+//
+// Inference works as the paper sketches: an insertion of a graph's
+// source dummy opens a new instance (a fresh slot expansion, the next
+// copy of a loop or fork, or the next member of a recursion chain),
+// located by matching the insertion's predecessor set against the
+// expected predecessor set of every candidate slot along the
+// slot-parent chains of the predecessors' contexts; any other
+// insertion binds to the unique open instance that has its spec vertex
+// unmaterialized with matching predecessors.
+type ExecutionLabeler struct {
+	base
+	// namedChecked caches the NameResolvable validation for
+	// InsertNamed.
+	namedChecked bool
+}
+
+// NewExecutionLabeler builds an execution-based labeler.
+func NewExecutionLabeler(g *spec.Grammar, kind skeleton.Kind, mode RMode) *ExecutionLabeler {
+	return &ExecutionLabeler{base: newBase(g, kind, mode)}
+}
+
+// Insert labels one newly executed vertex. Insertions must arrive in a
+// topological order of the (eventual) run graph, as executions do
+// (Definition 8). It returns the vertex's final label.
+func (e *ExecutionLabeler) Insert(ev run.Event) (label.Label, error) {
+	gid, sv := ev.Ref.Graph, ev.Ref.V
+	if gid < 0 || int(gid) >= len(e.g.Spec().Graphs()) {
+		return label.Label{}, fmt.Errorf("core: event names unknown graph %d", gid)
+	}
+	gg := e.g.Spec().Graph(gid).G
+	if !gg.Valid(sv) {
+		return label.Label{}, fmt.Errorf("core: event names unknown vertex %d of graph %d", sv, gid)
+	}
+	if _, dup := e.labels[ev.V]; dup {
+		return label.Label{}, fmt.Errorf("core: run vertex %d inserted twice", ev.V)
+	}
+	for _, p := range ev.Preds {
+		if _, ok := e.ctx[p]; !ok {
+			return label.Label{}, fmt.Errorf("core: predecessor %d of vertex %d not yet inserted", p, ev.V)
+		}
+	}
+
+	// Bootstrap: the very first insertion must be g0's source.
+	if e.root == nil {
+		if gid != spec.StartGraph || sv != gg.Source() || len(ev.Preds) != 0 {
+			return label.Label{}, fmt.Errorf("core: execution must start with the source of g0")
+		}
+		root := e.startRoot()
+		root.Prefix = label.Label{}
+		return e.bind(root, sv, ev.V), nil
+	}
+	if len(ev.Preds) == 0 {
+		return label.Label{}, fmt.Errorf("core: only the source of g0 has no predecessors")
+	}
+
+	if gid != spec.StartGraph && sv == gg.Source() {
+		return e.insertSource(ev)
+	}
+	return e.insertMember(ev)
+}
+
+// insertMember binds a non-source vertex to its existing instance: the
+// first instance along the predecessors' slot-parent chains whose
+// graph matches, whose spec vertex is unmaterialized, and whose
+// expected predecessors equal the event's.
+func (e *ExecutionLabeler) insertMember(ev run.Event) (label.Label, error) {
+	gid, sv := ev.Ref.Graph, ev.Ref.V
+	for _, x := range e.candidates(ev.Preds) {
+		if x.Graph != gid || x.RunOf[sv] != graph.None {
+			continue
+		}
+		if exp, ok := e.expectedPreds(x, sv); ok && sameIDSet(exp, ev.Preds) {
+			return e.bind(x, sv, ev.V), nil
+		}
+	}
+	return label.Label{}, fmt.Errorf("core: no instance accepts vertex %d (g%d:%d)", ev.V, gid, sv)
+}
+
+// insertSource opens a new instance of graph gid for a source-dummy
+// insertion, attaching it to the slot whose expected predecessors
+// match. Continuations of existing loop and fork groups are preferred
+// over fresh expansions, and deeper instances over shallower ones.
+func (e *ExecutionLabeler) insertSource(ev run.Event) (label.Label, error) {
+	gid := ev.Ref.Graph
+	ng := e.g.Spec().Graph(gid)
+	implKind := e.g.Spec().Kind(ng.Owner)
+
+	for _, y := range e.candidates(ev.Preds) {
+		// Continuations of this instance's open loop/fork groups.
+		for _, cu := range e.compositeSlots(y) {
+			gx := y.Groups[cu]
+			if gx == nil || gx.Kind == label.R || !gx.IsSpecial() {
+				continue
+			}
+			if len(gx.Children) == 0 || gx.Children[0].Graph != gid {
+				continue
+			}
+			var expected []graph.VertexID
+			if gx.Kind == label.L {
+				// The next series copy is fed by the last copy's sink.
+				last := gx.Children[len(gx.Children)-1]
+				snk := last.RunOf[e.graphOf(last).Sink()]
+				if snk == graph.None {
+					continue
+				}
+				expected = []graph.VertexID{snk}
+			} else {
+				// Parallel copies all share the slot's own predecessors.
+				exp, ok := e.expectedPreds(y, cu)
+				if !ok {
+					continue
+				}
+				expected = exp
+			}
+			if sameIDSet(expected, ev.Preds) {
+				x := gx.AddInstance(gid, ng.G.NumVertices(), gx.NextIndex())
+				x.Prefix = gx.Prefix
+				x.SlotParent, x.SlotVertex = y, cu
+				return e.bind(x, ng.G.Source(), ev.V), nil
+			}
+		}
+		// Fresh expansions of this instance's unexpanded slots (which
+		// include the designated recursive vertex, whose expansion
+		// extends the enclosing R chain).
+		for _, cu := range e.compositeSlots(y) {
+			if y.Groups[cu] != nil {
+				continue
+			}
+			if !e.implements(gid, e.graphOf(y).Name(cu)) {
+				continue
+			}
+			exp, ok := e.expectedPreds(y, cu)
+			if !ok || !sameIDSet(exp, ev.Preds) {
+				continue
+			}
+			x, err := e.expandSlot(y, cu, gid, ng.G.NumVertices(), implKind)
+			if err != nil {
+				return label.Label{}, err
+			}
+			return e.bind(x, ng.G.Source(), ev.V), nil
+		}
+	}
+	return label.Label{}, fmt.Errorf("core: no slot accepts source of g%d (vertex %d)", gid, ev.V)
+}
+
+// expandSlot creates the tree structure for the first copy of slot cu
+// of instance y, mirroring Algorithm 2's four cases.
+func (e *ExecutionLabeler) expandSlot(y *parsetree.Node, cu graph.VertexID, gid spec.GraphID, vertices int, kind spec.Kind) (*parsetree.Node, error) {
+	uLabel := y.Prefix.Append(e.memberEntry(y, cu)) // φ_g(u), recomputed
+	if u := y.RunOf[cu]; u != graph.None {
+		uLabel = e.MustLabel(u)
+	}
+
+	if e.designatedOf(y.Graph) == cu {
+		// Recursion-chain continuation: next child of the enclosing R.
+		rx := y.Parent
+		if rx == nil || rx.Kind != label.R {
+			return nil, fmt.Errorf("core: recursive vertex outside an R chain")
+		}
+		x := rx.AddInstance(gid, vertices, rx.NextIndex())
+		x.Prefix = rx.Prefix
+		x.SlotParent, x.SlotVertex = y, cu
+		y.Groups[cu] = x
+		return x, nil
+	}
+	switch {
+	case kind == spec.Loop || kind == spec.Fork:
+		t := label.L
+		if kind == spec.Fork {
+			t = label.F
+		}
+		gx := y.AddSpecial(t, parsetree.SlotIndex(cu))
+		gx.Prefix = uLabel.Append(specialEntry(gx))
+		y.Groups[cu] = gx
+		x := gx.AddInstance(gid, vertices, gx.NextIndex())
+		x.Prefix = gx.Prefix
+		x.SlotParent, x.SlotVertex = y, cu
+		return x, nil
+	case e.designatedOf(gid) != graph.None:
+		rx := y.AddSpecial(label.R, parsetree.SlotIndex(cu))
+		rx.Prefix = uLabel.Append(specialEntry(rx))
+		y.Groups[cu] = rx
+		x := rx.AddInstance(gid, vertices, rx.NextIndex())
+		x.Prefix = rx.Prefix
+		x.SlotParent, x.SlotVertex = y, cu
+		return x, nil
+	default:
+		x := y.AddInstance(gid, vertices, parsetree.SlotIndex(cu))
+		x.Prefix = uLabel
+		x.SlotParent, x.SlotVertex = y, cu
+		y.Groups[cu] = x
+		return x, nil
+	}
+}
+
+// candidates returns the instances to try for an event, walking the
+// slot-parent chain bottom-up from each predecessor's context, without
+// duplicates.
+func (e *ExecutionLabeler) candidates(preds []graph.VertexID) []*parsetree.Node {
+	var out []*parsetree.Node
+	seen := make(map[*parsetree.Node]bool)
+	for _, p := range preds {
+		ref, ok := e.ctx[p]
+		if !ok {
+			continue
+		}
+		for x := ref.node; x != nil; x = x.SlotParent {
+			if seen[x] {
+				break // the rest of the chain was already visited
+			}
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// compositeSlots lists the composite vertices of an instance's graph,
+// including the designated recursive vertex, in vertex order.
+func (e *ExecutionLabeler) compositeSlots(y *parsetree.Node) []graph.VertexID {
+	gg := e.graphOf(y)
+	var out []graph.VertexID
+	for v := 0; v < gg.NumVertices(); v++ {
+		if e.g.Spec().Kind(gg.Name(graph.VertexID(v))).Composite() {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// implements reports whether graph gid implements the composite name.
+func (e *ExecutionLabeler) implements(gid spec.GraphID, name string) bool {
+	for _, id := range e.g.Spec().Implementations(name) {
+		if id == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// expectedPreds computes the run vertices that feed spec vertex sv of
+// instance y: materialized atomic predecessors directly, and for each
+// composite predecessor the sink(s) of its completed expansion — the
+// last copy's sink for a loop, every copy's sink for a fork, the first
+// chain member's sink for a recursion (nested members replace vertices
+// inside it), and the single instance's sink otherwise. ok is false
+// while some needed piece is not yet materialized.
+func (e *ExecutionLabeler) expectedPreds(y *parsetree.Node, sv graph.VertexID) ([]graph.VertexID, bool) {
+	gg := e.graphOf(y)
+	var out []graph.VertexID
+	for _, p := range gg.In(sv) {
+		if !e.g.Spec().Kind(gg.Name(p)).Composite() {
+			r := y.RunOf[p]
+			if r == graph.None {
+				return nil, false
+			}
+			out = append(out, r)
+			continue
+		}
+		gx := y.Groups[p]
+		if gx == nil {
+			return nil, false
+		}
+		sinks, ok := e.expansionSinks(gx)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, sinks...)
+	}
+	return out, true
+}
+
+// expansionSinks returns the run sinks of a slot expansion.
+func (e *ExecutionLabeler) expansionSinks(gx *parsetree.Node) ([]graph.VertexID, bool) {
+	sinkOf := func(x *parsetree.Node) (graph.VertexID, bool) {
+		s := x.RunOf[e.graphOf(x).Sink()]
+		return s, s != graph.None
+	}
+	switch gx.Kind {
+	case label.N:
+		// Plain instance, or the first member of an R chain reached via
+		// Groups (chain members nest inside it, so its sink is the
+		// expansion's sink either way).
+		s, ok := sinkOf(gx)
+		if !ok {
+			return nil, false
+		}
+		return []graph.VertexID{s}, true
+	case label.L:
+		if len(gx.Children) == 0 {
+			return nil, false
+		}
+		s, ok := sinkOf(gx.Children[len(gx.Children)-1])
+		if !ok {
+			return nil, false
+		}
+		return []graph.VertexID{s}, true
+	case label.F:
+		var out []graph.VertexID
+		for _, c := range gx.Children {
+			s, ok := sinkOf(c)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, s)
+		}
+		return out, true
+	default: // label.R
+		if len(gx.Children) == 0 {
+			return nil, false
+		}
+		s, ok := sinkOf(gx.Children[0])
+		if !ok {
+			return nil, false
+		}
+		return []graph.VertexID{s}, true
+	}
+}
+
+func sameIDSet(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]graph.VertexID(nil), a...)
+	bs := append([]graph.VertexID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelExecution drives a full execution through a fresh labeler,
+// returning it. Convenience for tests and benchmarks.
+func LabelExecution(g *spec.Grammar, events []run.Event, kind skeleton.Kind, mode RMode) (*ExecutionLabeler, error) {
+	e := NewExecutionLabeler(g, kind, mode)
+	for i := range events {
+		if _, err := e.Insert(events[i]); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+// TestInsertDuplicateVertexErrors: replaying an event must be an
+// error, not a panic (labels are immutable).
+func TestInsertDuplicateVertexErrors(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 60, Seed: 1})
+	evs, err := r.Execution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewExecutionLabeler(g, skeleton.TCL, core.RModeDesignated)
+	if _, err := e.Insert(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(evs[0]); err == nil {
+		t.Fatal("duplicate insertion accepted")
+	}
+}
+
+// TestInsertOutOfOrderErrors: an event whose predecessors have not
+// been inserted yet (a non-topological stream) is rejected cleanly.
+func TestInsertOutOfOrderErrors(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 60, Seed: 2})
+	evs, err := r.Execution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewExecutionLabeler(g, skeleton.TCL, core.RModeDesignated)
+	if _, err := e.Insert(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Skip ahead: evs[5]'s predecessors are missing.
+	if _, err := e.Insert(evs[5]); err == nil {
+		t.Fatal("out-of-order insertion accepted")
+	}
+	// The labeler remains usable afterwards.
+	for _, ev := range evs[1:] {
+		if _, err := e.Insert(ev); err != nil {
+			t.Fatalf("recovery failed at %d: %v", ev.V, err)
+		}
+	}
+}
+
+// TestInsertForeignEventErrors: an event from a different grammar's
+// run cannot attach anywhere.
+func TestInsertForeignEventErrors(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 60, Seed: 3})
+	evs, err := r.Execution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewExecutionLabeler(g, skeleton.TCL, core.RModeDesignated)
+	if _, err := e.Insert(evs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A vertex claiming to be h5's interior with the root as its
+	// predecessor: no instance of h5 is open.
+	h5 := g.Spec().Implementations("B")[0]
+	bogus := run.Event{V: 9999, Ref: spec.VertexRef{Graph: h5, V: 1}, Preds: evs[0].Preds}
+	if _, err := e.Insert(bogus); err == nil {
+		t.Fatal("foreign event accepted")
+	}
+}
+
+// TestLabelNamedExecutionErrorPropagation: the driver surfaces event
+// indexes in errors.
+func TestLabelNamedExecutionErrorPropagation(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	bad := []core.NamedEvent{{V: 0, Name: "t0"}} // sink before source
+	if _, err := core.LabelNamedExecution(g, bad, skeleton.TCL, core.RModeDesignated); err == nil {
+		t.Fatal("execution starting at the sink accepted")
+	}
+}

@@ -1,0 +1,16 @@
+package core_test
+
+import (
+	"wfreach/internal/label"
+	"wfreach/internal/spec"
+)
+
+func labelCodec(g *spec.Grammar) *label.Codec { return label.NewCodec(g) }
+
+func labelOf(entries ...label.Entry) label.Label {
+	l := label.Label{}
+	for _, e := range entries {
+		l = l.Append(e)
+	}
+	return l
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+// NamedEvent is an execution event identified by module name alone —
+// the Section 5.3 setting where the workflow system does not log
+// specification-vertex ids and the labeler resolves events "by
+// checking module names". It requires the specification to satisfy the
+// two naming restrictions (Spec.NameResolvable): distinct names within
+// each graph, and globally unique terminal-dummy names.
+type NamedEvent struct {
+	V     graph.VertexID
+	Name  string
+	Preds []graph.VertexID
+}
+
+// InsertNamed labels one newly executed vertex identified by module
+// name. Terminal dummies resolve directly (their names are globally
+// unique and identify both the graph and whether a new instance
+// starts); interior modules resolve within the candidate instance
+// located through the predecessors, where names are unique.
+func (e *ExecutionLabeler) InsertNamed(ev NamedEvent) (label.Label, error) {
+	if !e.namedChecked {
+		if err := e.g.Spec().NameResolvable(); err != nil {
+			return label.Label{}, fmt.Errorf("core: name-based insertion unavailable: %w", err)
+		}
+		e.namedChecked = true
+	}
+	// Terminal dummy: the name pins down the graph and vertex; sources
+	// open instances, sinks close them — both via the ref-based path.
+	if ref, _, ok := e.g.Spec().TerminalByName(ev.Name); ok {
+		return e.Insert(run.Event{V: ev.V, Ref: ref, Preds: ev.Preds})
+	}
+	// Interior module: find the open instance whose graph has this
+	// name unmaterialized with matching predecessors (condition 1
+	// makes the name unique within the instance's graph).
+	for _, x := range e.candidates(ev.Preds) {
+		sv, err := e.g.Spec().ResolveName(x.Graph, ev.Name)
+		if err != nil || x.RunOf[sv] != graph.None {
+			continue
+		}
+		if exp, ok := e.expectedPreds(x, sv); ok && sameIDSet(exp, ev.Preds) {
+			return e.bind(x, sv, ev.V), nil
+		}
+	}
+	return label.Label{}, fmt.Errorf("core: no instance accepts module %q (vertex %d)", ev.Name, ev.V)
+}
+
+// LabelNamedExecution drives a full name-identified execution through
+// a fresh labeler, returning it.
+func LabelNamedExecution(g *spec.Grammar, events []NamedEvent, kind skeleton.Kind, mode RMode) (*ExecutionLabeler, error) {
+	e := NewExecutionLabeler(g, kind, mode)
+	for i := range events {
+		if _, err := e.InsertNamed(events[i]); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"wfreach/internal/label"
+	"wfreach/internal/skeleton"
+)
+
+// Pi is the binary predicate of Algorithm 4: given the reachability
+// labels of two run vertices v and v′, it reports v ;* v′ using only
+// the labels and the skeleton scheme. It runs in O(d_t) time — O(1)
+// for a fixed grammar (Theorem 3, part 3).
+//
+// The two labels share a prefix of entries describing their common
+// ancestors in the explicit parse tree (indexes uniquely identify tree
+// paths). Let i be the last position where the index paths agree: the
+// node at i is the least common ancestor of the two contexts, and its
+// type dispatches Lemma 4.2's four cases:
+//
+//	L: v reaches v′ iff v's loop copy precedes v′'s;
+//	F: distinct fork copies never reach each other;
+//	R: the recursion flags of the shallower chain member decide;
+//	N: the skeleton labels of the two origins decide.
+func Pi(skel *skeleton.Scheme, lv, lw label.Label) bool {
+	ev, ew := lv.Entries, lw.Entries
+	if len(ev) == 0 || len(ew) == 0 {
+		panic("core: π on an empty label")
+	}
+	// Find i: indexes at i agree, indexes at i+1 differ (out-of-range
+	// counts as a mismatch against any real index, and as agreement
+	// against another out-of-range — the equal-path case).
+	i := 0
+	for {
+		ia, okA := indexAt(ev, i+1)
+		ib, okB := indexAt(ew, i+1)
+		if okA != okB || (okA && okB && ia != ib) {
+			break // paths diverge after position i
+		}
+		if !okA && !okB {
+			break // identical index paths: i is the last position
+		}
+		i++
+	}
+
+	switch ev[i].Type {
+	case label.L:
+		// Both labels continue below the L node (run vertices never
+		// live on special nodes), in distinct copies.
+		return ev[i+1].Index < ew[i+1].Index
+	case label.F:
+		return false
+	case label.R:
+		// Lemma 4.2, R case: everything in a later chain member is
+		// derived from the designated recursive vertex w of any earlier
+		// member; rec1/rec2 pre-encode origin-vs-w reachability.
+		if ev[i+1].Index < ew[i+1].Index {
+			if !ev[i+1].HasRec {
+				panic("core: earlier recursion-chain member lacks flags")
+			}
+			return ev[i+1].Rec1
+		}
+		if !ew[i+1].HasRec {
+			panic("core: earlier recursion-chain member lacks flags")
+		}
+		return ew[i+1].Rec2
+	default: // label.N
+		// The LCA is an instance; both entries carry the origins'
+		// skeleton pointers into the same specification graph.
+		return skel.Pi(ev[i].Skl, ew[i].Skl)
+	}
+}
+
+func indexAt(entries []label.Entry, i int) (int32, bool) {
+	if i >= len(entries) {
+		return -1, false
+	}
+	return entries[i].Index, true
+}

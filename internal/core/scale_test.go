@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/label"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+// TestLargeRunSampledCorrectness labels a paper-scale (32K) run and
+// verifies sampled pairs against ground truth, for both labelers.
+func TestLargeRunSampledCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := spec.MustCompile(wfspecs.BioAID())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 32 * 1024, Seed: 99})
+	if r.Size() < 16*1024 {
+		t.Fatalf("run too small: %d", r.Size())
+	}
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.Execution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.LabelExecution(g, evs, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := r.Graph.LiveVertices()
+	rng := rand.New(rand.NewSource(100))
+	for k := 0; k < 20000; k++ {
+		v := live[rng.Intn(len(live))]
+		w := live[rng.Intn(len(live))]
+		want := r.Graph.Reaches(v, w)
+		if d.Reach(v, w) != want {
+			t.Fatalf("derivation π(%d,%d) != %v at 32K", v, w, want)
+		}
+		if e.Reach(v, w) != want {
+			t.Fatalf("execution π(%d,%d) != %v at 32K", v, w, want)
+		}
+	}
+	// Theorem 3 at scale: logarithmic labels even for a 32K run.
+	cod := label.NewCodec(g)
+	for _, v := range live {
+		if bits := cod.BitLen(d.MustLabel(v)); bits > 80 {
+			t.Fatalf("label of %d bits on a linear grammar at 32K", bits)
+		}
+	}
+}
+
+// TestConcurrentQueries: labels are immutable once issued, so queries
+// on a completed labeler may run from many goroutines (validated under
+// -race).
+func TestConcurrentQueries(t *testing.T) {
+	g := spec.MustCompile(wfspecs.BioAID())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 2000, Seed: 55})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := r.Graph.LiveVertices()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				v := live[rng.Intn(len(live))]
+				u := live[rng.Intn(len(live))]
+				if d.Reach(v, u) != r.Graph.Reaches(v, u) {
+					select {
+					case errs <- "concurrent query diverged":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,171 @@
+package gen_test
+
+import (
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/graph"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+func TestTargetSizeAccuracy(t *testing.T) {
+	for _, s := range []*spec.Spec{wfspecs.RunningExample(), wfspecs.BioAID()} {
+		g := spec.MustCompile(s)
+		for _, target := range []int{100, 1000, 8000} {
+			r := gen.MustGenerate(g, gen.Options{TargetSize: target, Seed: 1})
+			size := r.Size()
+			if size < target/2 || size > target*2 {
+				t.Errorf("%s target %d: got %d (off by more than 2x)", s, target, size)
+			}
+			if !r.Complete() {
+				t.Fatal("generated run incomplete")
+			}
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	a := gen.MustGenerate(g, gen.Options{TargetSize: 500, Seed: 77})
+	b := gen.MustGenerate(g, gen.Options{TargetSize: 500, Seed: 77})
+	if a.Graph.String() != b.Graph.String() {
+		t.Fatal("same seed produced different runs")
+	}
+	c := gen.MustGenerate(g, gen.Options{TargetSize: 500, Seed: 78})
+	if a.Graph.String() == c.Graph.String() {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestMinimalRunWhenTargetTiny(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 1, Seed: 0})
+	if r.Size() != g.MinRunSize() {
+		t.Fatalf("size %d, want minimal %d", r.Size(), g.MinRunSize())
+	}
+	// Zero target defaults to minimal too.
+	r0 := gen.MustGenerate(g, gen.Options{Seed: 0})
+	if r0.Size() != g.MinRunSize() {
+		t.Fatalf("default size %d, want %d", r0.Size(), g.MinRunSize())
+	}
+}
+
+func TestRunsAreValidDAGRuns(t *testing.T) {
+	g := spec.MustCompile(wfspecs.BioAID())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 2000, Seed: 5})
+	// All-atomic (complete), two-terminal-ish: single source & sink.
+	if len(r.Open()) != 0 {
+		t.Fatal("open composites remain")
+	}
+	if len(r.Graph.Sources()) != 1 || len(r.Graph.Sinks()) != 1 {
+		t.Fatalf("sources/sinks = %d/%d", len(r.Graph.Sources()), len(r.Graph.Sinks()))
+	}
+	for _, v := range r.Graph.LiveVertices() {
+		if g.Spec().Kind(r.NameOf(v)).Composite() {
+			t.Fatalf("composite vertex %s survives in the run", r.NameOf(v))
+		}
+	}
+}
+
+func TestExercisesLoopsForksRecursion(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 2000, Seed: 9})
+	loops, forks, recursions := 0, 0, 0
+	for _, st := range r.Steps {
+		name := g.Spec().Graph(st.Impl).Owner
+		switch g.Spec().Kind(name) {
+		case spec.Loop:
+			if st.Copies > 1 {
+				loops++
+			}
+		case spec.Fork:
+			if st.Copies > 1 {
+				forks++
+			}
+		}
+		// Recursion: expanding A with its recursive implementation h3.
+		if name == "A" && st.Impl == g.Spec().Implementations("A")[0] {
+			recursions++
+		}
+	}
+	if loops == 0 || forks == 0 || recursions == 0 {
+		t.Fatalf("workload too tame: loops=%d forks=%d recursions=%d", loops, forks, recursions)
+	}
+}
+
+func TestMaxCopiesCap(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 5000, Seed: 3, MaxCopies: 4})
+	for _, st := range r.Steps {
+		if st.Copies > 4 {
+			t.Fatalf("step with %d copies exceeds cap", st.Copies)
+		}
+	}
+}
+
+func TestFIFOKeepsSiblingOrder(t *testing.T) {
+	// The generator expands open composites FIFO, so a run's steps
+	// targeting vertices of one instance appear in spec-vertex order —
+	// the property that aligns derivation-based and execution-based
+	// label indexes.
+	g := spec.MustCompile(wfspecs.BioAID())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 300, Seed: 8})
+	seen := make(map[graph.VertexID]int)
+	for i, st := range r.Steps {
+		seen[st.Target] = i
+	}
+	for i, st := range r.Steps {
+		for _, row := range st.IDs {
+			prev := -1
+			for _, v := range row {
+				if j, ok := seen[v]; ok {
+					if j < i {
+						t.Fatalf("child expanded before its parent step")
+					}
+					if j < prev {
+						t.Fatalf("sibling composites expanded out of order")
+					}
+					prev = j
+				}
+			}
+		}
+	}
+}
+
+func TestNonlinearGrammarGeneration(t *testing.T) {
+	g := spec.MustCompile(wfspecs.Fig6())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 500, Seed: 2})
+	if r.Size() < 100 {
+		t.Fatalf("Fig6 run too small: %d", r.Size())
+	}
+	if !r.Complete() {
+		t.Fatal("incomplete")
+	}
+}
+
+// TestDepthFirstMakesDeepDerivations: LIFO expansion yields recursion
+// depth proportional to run size on the Figure 6 grammar (Theorem 1's
+// adversarial shape), far beyond what balanced FIFO derivations reach.
+func TestDepthFirstMakesDeepDerivations(t *testing.T) {
+	g := spec.MustCompile(wfspecs.Fig6())
+	deep := gen.MustGenerate(g, gen.Options{TargetSize: 400, Seed: 3, DepthFirst: true})
+	flat := gen.MustGenerate(g, gen.Options{TargetSize: 400, Seed: 3})
+	if deep.Size() < 100 || flat.Size() < 100 {
+		t.Fatalf("runs too small: %d / %d", deep.Size(), flat.Size())
+	}
+	dDeep, err := core.LabelRun(deep, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFlat, err := core.LabelRun(flat, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dDeep.Tree().Depth() < 2*dFlat.Tree().Depth() {
+		t.Fatalf("depth-first tree depth %d should dwarf FIFO depth %d",
+			dDeep.Tree().Depth(), dFlat.Tree().Depth())
+	}
+}

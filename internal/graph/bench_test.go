@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkReaches(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomDAG(rng, 500, 0.05)
+	pairs := make([][2]VertexID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]VertexID{VertexID(rng.Intn(500)), VertexID(rng.Intn(500))}
+	}
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != g.Reaches(p[0], p[1])
+	}
+	_ = sink
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomDAG(rng, 1000, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.TopoOrder()
+	}
+}
+
+func BenchmarkClosure(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomDAG(rng, 200, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Closure()
+	}
+}
+
+func BenchmarkReplace(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	h := RandomTwoTerminal(rng, 10, 0.4, nil)
+	proto := RandomTwoTerminal(rng, 50, 0.2, nil)
+	targets := make([]VertexID, 64)
+	for i := range targets {
+		targets[i] = VertexID(1 + rng.Intn(48))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := proto.Clone()
+		if _, err := g.Replace(targets[i%len(targets)], h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

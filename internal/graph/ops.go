@@ -1,0 +1,200 @@
+package graph
+
+import "fmt"
+
+// This file implements the four graph operations of Section 2.1
+// (Definitions 1-4). Series and parallel composition formalize loop
+// and fork executions; vertex insertion and vertex replacement
+// formalize execution-based and derivation-based dynamic runs.
+//
+// Compositions build a fresh graph; the returned Mapping records where
+// each input vertex landed so callers (the run builder, the labelers)
+// can track identities across operations.
+
+// Mapping records, for each operand graph of a composition, the new id
+// of each of its vertices: Mapping[k][v] is the id in the result of
+// vertex v of operand k.
+type Mapping [][]VertexID
+
+// Series forms the series composition S(g1, ..., gn) of two-terminal
+// graphs (Definition 1): the disjoint union plus an edge from the sink
+// of each operand to the source of the next. It panics if any operand
+// is not two-terminal, matching the definition's precondition.
+func Series(gs ...*Graph) (*Graph, Mapping) {
+	res, m := disjointUnion(gs)
+	for i := 0; i+1 < len(gs); i++ {
+		t := m[i][gs[i].Sink()]
+		s := m[i+1][gs[i+1].Source()]
+		res.MustAddEdge(t, s)
+	}
+	return res, m
+}
+
+// Parallel forms the parallel composition P(g1, ..., gn) (Definition
+// 2): simply the disjoint union of the operands. The result is in
+// general not two-terminal; the replacement operation wires all its
+// sources and sinks into the host graph.
+func Parallel(gs ...*Graph) (*Graph, Mapping) {
+	return disjointUnion(gs)
+}
+
+func disjointUnion(gs []*Graph) (*Graph, Mapping) {
+	res := New()
+	m := make(Mapping, len(gs))
+	for k, g := range gs {
+		if len(gs) > 1 && !g.IsTwoTerminal() {
+			panic(fmt.Sprintf("graph: composition operand %d is not two-terminal", k))
+		}
+		m[k] = make([]VertexID, g.NumVertices())
+		for v := 0; v < g.NumVertices(); v++ {
+			m[k][v] = res.AddVertex(g.Name(VertexID(v)))
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Out(VertexID(v)) {
+				res.MustAddEdge(m[k][v], m[k][w])
+			}
+		}
+	}
+	return res, m
+}
+
+// Insert adds a new vertex labeled name to g with edges from every
+// vertex of preds to it (Definition 3: g + (v, C)). It returns the new
+// vertex's id. Duplicate predecessors are rejected.
+func (g *Graph) Insert(name string, preds []VertexID) (VertexID, error) {
+	seen := make(map[VertexID]bool, len(preds))
+	for _, p := range preds {
+		if !g.Valid(p) {
+			return None, fmt.Errorf("graph: insert predecessor %d out of range", p)
+		}
+		if seen[p] {
+			return None, fmt.Errorf("graph: insert duplicate predecessor %d", p)
+		}
+		seen[p] = true
+	}
+	v := g.AddVertex(name)
+	for _, p := range preds {
+		// Cannot create a cycle: v has no outgoing edges yet.
+		g.out[p] = append(g.out[p], v)
+		g.in[v] = append(g.in[v], p)
+		g.edges++
+	}
+	return v, nil
+}
+
+// ReplaceResult reports the outcome of a Replace: the ids in the host
+// graph of each vertex of the replacement graph.
+type ReplaceResult struct {
+	// VertexOf[v] is the host id of vertex v of the replacement graph.
+	VertexOf []VertexID
+}
+
+// Replace substitutes vertex u of g with the graph h (Definition 4:
+// g[u/h]): u and its incident edges are removed; h is added; every
+// former predecessor of u gains an edge to every source of h, and
+// every sink of h gains an edge to every former successor of u.
+//
+// The host graph keeps its existing vertex ids stable: u's id becomes
+// a tombstone that is never reused, which lets the run builder track
+// vertices across a whole derivation without renumbering. Tombstones
+// keep their name prefixed with "\x00" and have no edges; they are
+// excluded from Sources/Sinks by construction (no edges ≠ no incident
+// edges... a tombstone has degree zero), so callers that need
+// source/sink structure use Live() views or the spec-level builders,
+// which never query a graph with tombstones for terminals.
+func (g *Graph) Replace(u VertexID, h *Graph) (ReplaceResult, error) {
+	if !g.Valid(u) {
+		return ReplaceResult{}, fmt.Errorf("graph: replace target %d out of range", u)
+	}
+	if g.IsTombstone(u) {
+		return ReplaceResult{}, fmt.Errorf("graph: replace target %d already replaced", u)
+	}
+	if h.NumVertices() == 0 {
+		return ReplaceResult{}, fmt.Errorf("graph: replacement graph is empty")
+	}
+	preds := append([]VertexID(nil), g.in[u]...)
+	succs := append([]VertexID(nil), g.out[u]...)
+
+	// Remove u's incident edges.
+	for _, p := range preds {
+		g.out[p] = removeID(g.out[p], u)
+	}
+	for _, s := range succs {
+		g.in[s] = removeID(g.in[s], u)
+	}
+	g.edges -= len(preds) + len(succs)
+	g.in[u] = nil
+	g.out[u] = nil
+	g.names[u] = "\x00" + g.names[u]
+
+	// Add h.
+	res := ReplaceResult{VertexOf: make([]VertexID, h.NumVertices())}
+	for v := 0; v < h.NumVertices(); v++ {
+		res.VertexOf[v] = g.AddVertex(h.Name(VertexID(v)))
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		for _, w := range h.Out(VertexID(v)) {
+			nv, nw := res.VertexOf[v], res.VertexOf[w]
+			g.out[nv] = append(g.out[nv], nw)
+			g.in[nw] = append(g.in[nw], nv)
+			g.edges++
+		}
+	}
+
+	// Wire sources and sinks.
+	for v := 0; v < h.NumVertices(); v++ {
+		hv := VertexID(v)
+		nv := res.VertexOf[v]
+		if h.InDegree(hv) == 0 {
+			for _, p := range preds {
+				g.out[p] = append(g.out[p], nv)
+				g.in[nv] = append(g.in[nv], p)
+				g.edges++
+			}
+		}
+		if h.OutDegree(hv) == 0 {
+			for _, s := range succs {
+				g.out[nv] = append(g.out[nv], s)
+				g.in[s] = append(g.in[s], nv)
+				g.edges++
+			}
+		}
+	}
+	return res, nil
+}
+
+// IsTombstone reports whether v was consumed by a Replace.
+func (g *Graph) IsTombstone(v VertexID) bool {
+	return g.Valid(v) && len(g.names[v]) > 0 && g.names[v][0] == '\x00'
+}
+
+// LiveCount returns the number of non-tombstone vertices.
+func (g *Graph) LiveCount() int {
+	n := 0
+	for v := range g.names {
+		if !g.IsTombstone(VertexID(v)) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveVertices returns the non-tombstone vertices in id order.
+func (g *Graph) LiveVertices() []VertexID {
+	var vs []VertexID
+	for v := range g.names {
+		if !g.IsTombstone(VertexID(v)) {
+			vs = append(vs, VertexID(v))
+		}
+	}
+	return vs
+}
+
+func removeID(s []VertexID, v VertexID) []VertexID {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

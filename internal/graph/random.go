@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomTwoTerminal builds a random two-terminal DAG with n vertices
+// in which every vertex lies on a source-to-sink path, as used for the
+// synthetic sub-workflows of Section 7.3 ("all sub-workflows are
+// random two-terminal graphs of some fixed size"). Vertex i is named
+// names[i] when names is non-nil (len(names) must then be n);
+// otherwise vertices are named v0..v{n-1}. Vertex 0 is the source and
+// vertex n-1 the sink; edges only go from lower to higher ids, with
+// density controlling the expected extra edges beyond the spanning
+// chain structure (0 <= density <= 1).
+func RandomTwoTerminal(rng *rand.Rand, n int, density float64, names []string) *Graph {
+	if n < 2 {
+		panic("graph: RandomTwoTerminal needs n >= 2")
+	}
+	if names != nil && len(names) != n {
+		panic("graph: RandomTwoTerminal names length mismatch")
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%d", i)
+		if names != nil {
+			name = names[i]
+		}
+		g.AddVertex(name)
+	}
+	// Guarantee the source-to-sink spanning property: every interior
+	// vertex gets one predecessor among lower ids and one successor
+	// among higher ids; the sink hangs off at least one predecessor.
+	for i := 1; i < n-1; i++ {
+		p := VertexID(rng.Intn(i))
+		if err := g.AddEdge(p, VertexID(i)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < n-1; i++ {
+		// Successor strictly above i; bias toward the sink to keep the
+		// graph shallow like real workflow steps.
+		s := VertexID(i + 1 + rng.Intn(n-1-i))
+		if err := g.AddEdge(VertexID(i), s); err != nil && err != ErrDuplicateEdge {
+			panic(err)
+		}
+	}
+	if g.InDegree(VertexID(n-1)) == 0 {
+		g.MustAddEdge(VertexID(n-2), VertexID(n-1))
+	}
+	if n == 2 {
+		if !g.HasEdge(0, 1) {
+			g.MustAddEdge(0, 1)
+		}
+		return g
+	}
+	if g.OutDegree(0) == 0 {
+		g.MustAddEdge(0, 1)
+	}
+	// Extra random forward edges.
+	extra := int(density * float64(n))
+	for k := 0; k < extra; k++ {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-1-i)
+		err := g.AddEdge(VertexID(i), VertexID(j))
+		if err != nil && err != ErrDuplicateEdge && err != ErrCycle {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// RandomDAG builds a random DAG (not necessarily two-terminal) with n
+// vertices and roughly density*n*(n-1)/2 of the possible forward
+// edges. Used by property tests for the general dynamic-DAG scheme.
+func RandomDAG(rng *rand.Rand, n int, density float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(fmt.Sprintf("d%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.MustAddEdge(VertexID(i), VertexID(j))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,37 @@
+package label_test
+
+import (
+	"testing"
+
+	"wfreach/internal/label"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+// TestRegressionWideIndexRoundTrip pins the fuzzer-found bug where an
+// index needing 31 value bits sent the width computation into an
+// int32-overflow infinite loop (`v >= 1<<w` promotes 1<<31 to a
+// negative int32). The input decodes to a label with index 1111740226
+// and must re-encode and round-trip in finite time.
+func TestRegressionWideIndexRoundTrip(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	c := label.NewCodec(g)
+	data := []byte("\x05\tl\x7f\t\x0f=\tf\x1e\xb9\xa8\x7f\xa3e\x00d(\x00")
+	l, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("seed input no longer decodes: %v", err)
+	}
+	l2, err := c.Decode(c.Encode(l))
+	if err != nil || !l2.Equal(l) {
+		t.Fatalf("round trip: err=%v\n in: %s\nout: %s", err, l, l2)
+	}
+	// Direct check of the widest legal index.
+	wide := label.Label{}.Append(label.Entry{Index: 1<<31 - 1, Type: label.L, Skl: spec.NoRef})
+	w2, err := c.Decode(c.Encode(wide))
+	if err != nil || !w2.Equal(wide) {
+		t.Fatalf("max-index round trip failed: %v", err)
+	}
+	if got := c.BitLen(wide); got != 2+31 {
+		t.Fatalf("BitLen(max index) = %d, want 33", got)
+	}
+}

@@ -1,0 +1,52 @@
+package parsetree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/spec"
+)
+
+// Dump renders the subtree as an indented outline, in the spirit of
+// the paper's Figure 9, for debugging and teaching: instance nodes
+// show their specification graph and materialized members; special
+// nodes show their kind and child count.
+//
+//	N g0 [s0=0 L t0=17]
+//	└ L #2 (slot 1)
+//	  ├ N h1 copy 1 [s1=1 F t1=14]
+//	  …
+func (n *Node) Dump(w io.Writer, s *spec.Spec) {
+	n.dump(w, s, 0)
+}
+
+func (n *Node) dump(w io.Writer, s *spec.Spec, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsSpecial() {
+		fmt.Fprintf(w, "%s%s #%d (index %d)\n", indent, n.Kind, len(n.Children), n.Index)
+	} else {
+		gg := s.Graph(n.Graph)
+		var members []string
+		for v := 0; v < gg.G.NumVertices(); v++ {
+			name := gg.G.Name(graph.VertexID(v))
+			if r := n.RunOf[v]; r != graph.None {
+				members = append(members, fmt.Sprintf("%s=%d", name, r))
+			} else {
+				members = append(members, name)
+			}
+		}
+		fmt.Fprintf(w, "%sN %s (index %d) [%s]\n", indent, gg.Label, n.Index, strings.Join(members, " "))
+	}
+	for _, c := range n.Children {
+		c.dump(w, s, depth+1)
+	}
+}
+
+// DumpString renders Dump into a string.
+func (n *Node) DumpString(s *spec.Spec) string {
+	var b strings.Builder
+	n.Dump(&b, s)
+	return b.String()
+}

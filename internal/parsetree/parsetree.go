@@ -1,0 +1,152 @@
+// Package parsetree implements the explicit parse tree of Section 4.2:
+// the tree whose non-special nodes are instances of specification
+// graphs created during a derivation and whose special L, F and R
+// nodes group loop copies, fork copies and linear-recursion chains.
+// For linear recursive grammars its depth is bounded by a constant
+// depending only on the grammar (Lemma 4.1), which is what makes the
+// dynamic labels logarithmic.
+//
+// The package provides the tree structure and its shape statistics
+// (depth d_t, fanout θ_t, size n_t of Table 1); the labeling semantics
+// live in internal/core.
+package parsetree
+
+import (
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/spec"
+)
+
+// Node is a node of the explicit parse tree. Non-special nodes
+// (Kind == label.N) are annotated with an instance of a specification
+// graph; special nodes (L, F, R) group their children.
+type Node struct {
+	Kind     label.NodeType
+	Index    int32 // position under the parent: 0 for the root, 1-based for children
+	Parent   *Node
+	Children []*Node
+
+	// Instance annotation, meaningful for non-special nodes.
+
+	// Graph is the specification graph this node instantiates.
+	Graph spec.GraphID
+	// RunOf maps each spec vertex of Graph to its run vertex
+	// (graph.None while not yet materialized).
+	RunOf []graph.VertexID
+	// SlotParent is the canonical parse-tree parent: the instance
+	// whose composite vertex SlotVertex this instance (or its group)
+	// expands. For the members of a recursion chain after the first,
+	// SlotParent is the previous chain member and SlotVertex its
+	// designated recursive vertex. Nil for the root.
+	SlotParent *Node
+	SlotVertex graph.VertexID
+
+	// Groups maps a composite vertex of Graph to the node expanding it
+	// (an L/F/R group node or a plain child instance).
+	Groups map[graph.VertexID]*Node
+
+	// Prefix is the label context of this node: for special nodes, the
+	// node's own temporary label φ_g(x) (Algorithm 3); for instance
+	// nodes, the prefix to which a member's final entry is appended.
+	Prefix label.Label
+}
+
+// NewRoot creates the root instance annotated with the start graph.
+func NewRoot(gid spec.GraphID, vertices int) *Node {
+	return newInstance(gid, vertices)
+}
+
+func newInstance(gid spec.GraphID, vertices int) *Node {
+	n := &Node{Kind: label.N, Graph: gid, Groups: make(map[graph.VertexID]*Node)}
+	n.RunOf = make([]graph.VertexID, vertices)
+	for i := range n.RunOf {
+		n.RunOf[i] = graph.None
+	}
+	return n
+}
+
+// AddSpecial appends a new special child (L, F or R) to n with the
+// given sibling index. Expansions of an instance's slots use the slot
+// vertex as the index, making labels independent of the order in which
+// sibling slots happen to expand; copies under L/F nodes and chain
+// members under R nodes use their 1-based position.
+func (n *Node) AddSpecial(kind label.NodeType, index int32) *Node {
+	if kind == label.N {
+		panic("parsetree: AddSpecial with N kind")
+	}
+	c := &Node{Kind: kind, Parent: n, Index: index}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AddInstance appends a new instance child annotated with the given
+// specification graph, with the given sibling index (see AddSpecial).
+func (n *Node) AddInstance(gid spec.GraphID, vertices int, index int32) *Node {
+	c := newInstance(gid, vertices)
+	c.Parent = n
+	c.Index = index
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// NextIndex returns the 1-based position for the next ordered child
+// (loop/fork copies and recursion-chain members).
+func (n *Node) NextIndex() int32 { return int32(len(n.Children) + 1) }
+
+// SlotIndex returns the static sibling index used for the expansion of
+// a slot vertex: the slot's vertex id plus one (unique among an
+// instance's children, and disjoint from the root's 0).
+func SlotIndex(slot graph.VertexID) int32 { return int32(slot) + 1 }
+
+// IsSpecial reports whether the node is an L, F or R node.
+func (n *Node) IsSpecial() bool { return n.Kind != label.N }
+
+// Root returns the tree root.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Depth returns the depth of the subtree rooted at n: the number of
+// levels (a single node has depth 1, matching the d_t of Table 1 as a
+// level count; Lemma 4.1 bounds edges-depth by 2|Σ\Δ|, i.e. levels by
+// 2|Σ\Δ|+1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Size returns the number of nodes in the subtree (n_t of Table 1).
+func (n *Node) Size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// MaxFanout returns the maximum out-degree in the subtree (θ_t).
+func (n *Node) MaxFanout() int {
+	max := len(n.Children)
+	for _, c := range n.Children {
+		if f := c.MaxFanout(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Walk visits every node of the subtree in preorder.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}

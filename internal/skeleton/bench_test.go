@@ -1,0 +1,70 @@
+package skeleton_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+func BenchmarkTCLBuildSpec(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAID())
+	for i := 0; i < b.N; i++ {
+		skeleton.New(skeleton.TCL, g)
+	}
+}
+
+func BenchmarkTCLBuildGlobal(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAIDNonRecursive())
+	in, err := g.InlineAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skeleton.NewGraphScheme(skeleton.TCL, in.Graph)
+	}
+}
+
+func benchPairs(g *graph.Graph, n int) [][2]graph.VertexID {
+	rng := rand.New(rand.NewSource(3))
+	out := make([][2]graph.VertexID, n)
+	for i := range out {
+		out[i] = [2]graph.VertexID{
+			graph.VertexID(rng.Intn(g.NumVertices())),
+			graph.VertexID(rng.Intn(g.NumVertices())),
+		}
+	}
+	return out
+}
+
+func BenchmarkTCLQuery(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAIDNonRecursive())
+	in, _ := g.InlineAll()
+	sch := skeleton.NewGraphScheme(skeleton.TCL, in.Graph)
+	pairs := benchPairs(in.Graph, 1024)
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != sch.Reaches(p[0], p[1])
+	}
+	_ = sink
+}
+
+func BenchmarkBFSQuery(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAIDNonRecursive())
+	in, _ := g.InlineAll()
+	sch := skeleton.NewGraphScheme(skeleton.BFS, in.Graph)
+	pairs := benchPairs(in.Graph, 1024)
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != sch.Reaches(p[0], p[1])
+	}
+	_ = sink
+}

@@ -1,0 +1,50 @@
+package skl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach/internal/gen"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/skl"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAIDNonRecursive())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 8192, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skl.Build(r, skeleton.TCL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(r.Size()), "ns/vertex")
+}
+
+func BenchmarkSKLPi(b *testing.B) {
+	g := spec.MustCompile(wfspecs.BioAIDNonRecursive())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 8192, Seed: 1})
+	s, err := skl.Build(r, skeleton.TCL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := r.Graph.LiveVertices()
+	rng := rand.New(rand.NewSource(2))
+	type pair struct{ a, b *skl.Label }
+	pairs := make([]pair, 1024)
+	for i := range pairs {
+		pairs[i] = pair{
+			s.MustLabel(live[rng.Intn(len(live))]),
+			s.MustLabel(live[rng.Intn(len(live))]),
+		}
+	}
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != s.Pi(p.a, p.b)
+	}
+	_ = sink
+}

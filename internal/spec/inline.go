@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"fmt"
+
+	"wfreach/internal/graph"
+)
+
+// Inline is the "global specification graph" of Section 7.4: the start
+// graph with every composite module recursively replaced by its
+// sub-workflow(s). It exists only for non-recursive grammars and is
+// the skeleton over which the static SKL baseline labels and queries.
+//
+// When a composite module has several alternative implementations they
+// are inlined side by side (parallel alternatives of the same slot);
+// vertices of different alternatives of one slot never meet in a
+// reachability query whose LCA is that slot's instance, so global
+// reachability remains faithful.
+type Inline struct {
+	Graph *graph.Graph
+	Root  *InlineRegion
+	// Origin maps every global vertex to the specification vertex it
+	// copies.
+	Origin []VertexRef
+}
+
+// InlineRegion is one inlined occurrence of a specification graph.
+type InlineRegion struct {
+	GraphID GraphID
+	// GlobalOf maps each spec vertex of the region's graph to its
+	// global vertex (graph.None for composite vertices, which were
+	// replaced by child regions).
+	GlobalOf []graph.VertexID
+	// Slots maps each composite spec vertex to its child regions, one
+	// per implementation alternative, in declaration order.
+	Slots map[graph.VertexID][]*InlineRegion
+}
+
+// Entry returns the global vertex acting as the region's source.
+func (r *InlineRegion) Entry(s *Spec) graph.VertexID {
+	return r.GlobalOf[s.graphs[r.GraphID].G.Source()]
+}
+
+// Exit returns the global vertex acting as the region's sink.
+func (r *InlineRegion) Exit(s *Spec) graph.VertexID {
+	return r.GlobalOf[s.graphs[r.GraphID].G.Sink()]
+}
+
+// InlineAll builds the global specification graph. It fails for
+// recursive grammars, whose inlining would not terminate — exactly
+// SKL's limitation (2) in Section 7.4.
+func (g *Grammar) InlineAll() (*Inline, error) {
+	if g.IsRecursive() {
+		return nil, fmt.Errorf("spec: cannot inline a %v grammar", g.class)
+	}
+	in := &Inline{Graph: graph.New()}
+	in.Root = g.inlineRegion(in, StartGraph)
+	return in, nil
+}
+
+func (g *Grammar) inlineRegion(in *Inline, id GraphID) *InlineRegion {
+	s := g.spec
+	gg := s.graphs[id].G
+	r := &InlineRegion{
+		GraphID:  id,
+		GlobalOf: make([]graph.VertexID, gg.NumVertices()),
+		Slots:    make(map[graph.VertexID][]*InlineRegion),
+	}
+	// Vertices: atomic vertices become global vertices; composite
+	// vertices become child regions.
+	for v := 0; v < gg.NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		name := gg.Name(vid)
+		if s.kinds[name].Composite() {
+			r.GlobalOf[v] = graph.None
+			for _, impl := range s.impls[name] {
+				r.Slots[vid] = append(r.Slots[vid], g.inlineRegion(in, impl))
+			}
+		} else {
+			r.GlobalOf[v] = in.Graph.AddVertex(name)
+			in.Origin = append(in.Origin, VertexRef{Graph: id, V: vid})
+		}
+	}
+	// Edges: a composite endpoint contributes the entry/exit dummies of
+	// each of its alternatives (spec graphs have atomic terminals, so
+	// entry and exit are single global vertices per alternative).
+	endpoints := func(v graph.VertexID, exit bool) []graph.VertexID {
+		if r.GlobalOf[v] != graph.None {
+			return []graph.VertexID{r.GlobalOf[v]}
+		}
+		var out []graph.VertexID
+		for _, child := range r.Slots[v] {
+			if exit {
+				out = append(out, child.Exit(s))
+			} else {
+				out = append(out, child.Entry(s))
+			}
+		}
+		return out
+	}
+	for v := 0; v < gg.NumVertices(); v++ {
+		vid := graph.VertexID(v)
+		for _, w := range gg.Out(vid) {
+			for _, from := range endpoints(vid, true) {
+				for _, to := range endpoints(w, false) {
+					if err := in.Graph.AddEdge(from, to); err != nil {
+						panic(err) // structurally impossible on a valid spec
+					}
+				}
+			}
+		}
+	}
+	return r
+}

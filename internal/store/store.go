@@ -1,0 +1,111 @@
+// Package store provides a provenance label store: a compact map from
+// run vertices to their encoded reachability labels, answering
+// queries directly from the stored bytes. This is the artifact a
+// provenance-aware workflow system would persist next to its execution
+// log — labels are written once (they are immutable, Section 2.4) and
+// every "did A contribute to B?" question is answered by decoding two
+// byte strings, without the execution graph.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"wfreach/internal/core"
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+// Store holds encoded labels for one run.
+type Store struct {
+	codec *label.Codec
+	skel  *skeleton.Scheme
+	data  map[graph.VertexID][]byte
+	bits  int
+}
+
+// New creates an empty store for runs of the grammar, answering
+// queries with the given skeleton scheme.
+func New(g *spec.Grammar, kind skeleton.Kind) *Store {
+	return &Store{
+		codec: label.NewCodec(g),
+		skel:  skeleton.New(kind, g),
+		data:  make(map[graph.VertexID][]byte),
+	}
+}
+
+// Put encodes and stores the label of v. Labels are immutable: a
+// second Put for the same vertex is rejected.
+func (s *Store) Put(v graph.VertexID, l label.Label) error {
+	if _, dup := s.data[v]; dup {
+		return fmt.Errorf("store: vertex %d already stored", v)
+	}
+	enc := s.codec.Encode(l)
+	s.data[v] = enc
+	s.bits += len(enc) * 8
+	return nil
+}
+
+// Get decodes the stored label of v.
+func (s *Store) Get(v graph.VertexID) (label.Label, bool, error) {
+	enc, ok := s.data[v]
+	if !ok {
+		return label.Label{}, false, nil
+	}
+	l, err := s.codec.Decode(enc)
+	if err != nil {
+		return label.Label{}, true, fmt.Errorf("store: vertex %d: %w", v, err)
+	}
+	return l, true, nil
+}
+
+// Reach answers v ;* w from the stored bytes alone.
+func (s *Store) Reach(v, w graph.VertexID) (bool, error) {
+	lv, ok, err := s.Get(v)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("store: vertex %d not stored", v)
+	}
+	lw, ok, err := s.Get(w)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("store: vertex %d not stored", w)
+	}
+	return core.Pi(s.skel, lv, lw), nil
+}
+
+// Lineage returns the stored vertices that reach v (its provenance
+// closure), in ascending order. O(stored) decodes.
+func (s *Store) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
+	lv, ok, err := s.Get(v)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: vertex %d not stored", v)
+	}
+	var out []graph.VertexID
+	for w := range s.data {
+		lw, _, err := s.Get(w)
+		if err != nil {
+			return nil, err
+		}
+		if core.Pi(s.skel, lw, lv) {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Count returns the number of stored labels.
+func (s *Store) Count() int { return len(s.data) }
+
+// Bits returns the total stored label bytes, in bits.
+func (s *Store) Bits() int { return s.bits }

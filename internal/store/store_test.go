@@ -1,0 +1,124 @@
+package store_test
+
+import (
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/store"
+	"wfreach/internal/wfspecs"
+)
+
+func filled(t *testing.T, target int, seed int64) (*store.Store, *run.Run) {
+	t.Helper()
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: target, Seed: seed})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New(g, skeleton.TCL)
+	for _, v := range r.Graph.LiveVertices() {
+		if err := s.Put(v, d.MustLabel(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, r
+}
+
+func TestReachFromStoredBytes(t *testing.T) {
+	s, r := filled(t, 150, 1)
+	live := r.Graph.LiveVertices()
+	for _, v := range live {
+		for _, w := range live {
+			got, err := s.Reach(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := r.Graph.Reaches(v, w); got != want {
+				t.Fatalf("store.Reach(%d,%d)=%v, want %v", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestLineage(t *testing.T) {
+	s, r := filled(t, 100, 2)
+	snk := r.Graph.Sinks()[0]
+	lin, err := s.Lineage(snk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range r.Graph.LiveVertices() {
+		if r.Graph.Reaches(v, snk) {
+			want++
+		}
+	}
+	if len(lin) != want {
+		t.Fatalf("lineage size = %d, want %d", len(lin), want)
+	}
+	// Ascending, includes the vertex itself (reflexive).
+	found := false
+	for i, v := range lin {
+		if i > 0 && lin[i-1] >= v {
+			t.Fatal("lineage not sorted")
+		}
+		if v == snk {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lineage must include the vertex itself")
+	}
+}
+
+func TestPutRejectsDuplicates(t *testing.T) {
+	s, r := filled(t, 60, 3)
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Graph.LiveVertices()[0]
+	if err := s.Put(v, d.MustLabel(v)); err == nil {
+		t.Fatal("duplicate Put accepted (labels are immutable)")
+	}
+}
+
+func TestGetAndErrors(t *testing.T) {
+	s, r := filled(t, 60, 4)
+	v := r.Graph.LiveVertices()[0]
+	l, ok, err := s.Get(v)
+	if err != nil || !ok || l.Len() == 0 {
+		t.Fatalf("Get: %v %v %v", l, ok, err)
+	}
+	if _, ok, _ := s.Get(99999); ok {
+		t.Fatal("Get of unknown vertex reported ok")
+	}
+	if _, err := s.Reach(99999, v); err == nil {
+		t.Fatal("Reach with unknown vertex accepted")
+	}
+	if _, err := s.Reach(v, 99999); err == nil {
+		t.Fatal("Reach with unknown vertex accepted")
+	}
+	if _, err := s.Lineage(99999); err == nil {
+		t.Fatal("Lineage of unknown vertex accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s, r := filled(t, 80, 5)
+	if s.Count() != r.Size() {
+		t.Fatalf("Count = %d, want %d", s.Count(), r.Size())
+	}
+	if s.Bits() <= 0 {
+		t.Fatal("Bits must be positive")
+	}
+	// Encoded storage stays in the tens of bits per vertex.
+	if perVertex := float64(s.Bits()) / float64(s.Count()); perVertex > 200 {
+		t.Fatalf("stored %.0f bits per vertex", perVertex)
+	}
+}

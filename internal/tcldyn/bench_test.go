@@ -1,0 +1,55 @@
+package tcldyn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/tcldyn"
+)
+
+func benchDAG(n int) *graph.Graph {
+	return graph.RandomDAG(rand.New(rand.NewSource(1)), n, 0.01)
+}
+
+// BenchmarkInsert shows the Θ(n) scheme's quadratic total cost: each
+// insertion ORs predecessor bitsets of Θ(n/64) words.
+func BenchmarkInsert(b *testing.B) {
+	g := benchDAG(2000)
+	order := g.TopoOrder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := tcldyn.New()
+		for _, v := range order {
+			if _, err := l.Insert(v, g.In(v)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(order)), "ns/insert")
+}
+
+func BenchmarkTCLDynPi(b *testing.B) {
+	g := benchDAG(2000)
+	l := tcldyn.New()
+	for _, v := range g.TopoOrder() {
+		if _, err := l.Insert(v, g.In(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	type pair struct{ a, b *tcldyn.Label }
+	pairs := make([]pair, 1024)
+	for i := range pairs {
+		la, _ := l.Label(graph.VertexID(rng.Intn(2000)))
+		lb, _ := l.Label(graph.VertexID(rng.Intn(2000)))
+		pairs[i] = pair{la, lb}
+	}
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sink = sink != tcldyn.Pi(p.a, p.b)
+	}
+	_ = sink
+}

@@ -1,0 +1,150 @@
+package tcldyn_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wfreach/internal/gen"
+	"wfreach/internal/graph"
+	"wfreach/internal/spec"
+	"wfreach/internal/tcldyn"
+	"wfreach/internal/wfspecs"
+)
+
+// insertAll feeds a DAG to the labeler in topological order.
+func insertAll(t *testing.T, g *graph.Graph) *tcldyn.Labeler {
+	t.Helper()
+	l := tcldyn.New()
+	for _, v := range g.TopoOrder() {
+		if _, err := l.Insert(v, g.In(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestMatchesGroundTruthOnRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomDAG(rng, 15+rng.Intn(25), 0.25)
+		l := insertAll(t, g)
+		for v := 0; v < g.NumVertices(); v++ {
+			for w := 0; w < g.NumVertices(); w++ {
+				got, err := l.Reach(graph.VertexID(v), graph.VertexID(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := g.Reaches(graph.VertexID(v), graph.VertexID(w)); got != want {
+					t.Fatalf("trial %d: π(%d,%d)=%v, want %v", trial, v, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomDAG(rng, 20, 0.3)
+		l := tcldyn.New()
+		for _, v := range g.TopoOrder() {
+			if _, err := l.Insert(v, g.In(v)); err != nil {
+				return false
+			}
+		}
+		v := graph.VertexID(int(a) % 20)
+		w := graph.VertexID(int(b) % 20)
+		got, err := l.Reach(v, w)
+		return err == nil && got == g.Reaches(v, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelLengthsAreTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.RandomDAG(rng, 40, 0.2)
+	l := insertAll(t, g)
+	// Section 3.2: the i-th vertex's label has i-1 bits; the maximum is
+	// n-1 and the total n(n-1)/2.
+	if l.MaxBits() != 39 {
+		t.Fatalf("MaxBits = %d, want 39", l.MaxBits())
+	}
+	if l.TotalBits() != 40*39/2 {
+		t.Fatalf("TotalBits = %d", l.TotalBits())
+	}
+	for i, v := range g.TopoOrder() {
+		lab, ok := l.Label(v)
+		if !ok || lab.BitLen() != i {
+			t.Fatalf("vertex %d: BitLen = %d, want %d", v, lab.BitLen(), i)
+		}
+	}
+}
+
+func TestOnWorkflowRuns(t *testing.T) {
+	// The scheme also labels executions of workflow runs (it ignores
+	// the grammar entirely) — the paper's point that it costs n-1 bits
+	// where DRL costs O(log n).
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 200, Seed: 4})
+	evs, err := r.Execution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tcldyn.New()
+	for _, ev := range evs {
+		if _, err := l.Insert(ev.V, ev.Preds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.MaxBits() != r.Size()-1 {
+		t.Fatalf("MaxBits = %d, want %d", l.MaxBits(), r.Size()-1)
+	}
+	live := r.Graph.LiveVertices()
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 2000; k++ {
+		v := live[rng.Intn(len(live))]
+		w := live[rng.Intn(len(live))]
+		got, err := l.Reach(v, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Graph.Reaches(v, w); got != want {
+			t.Fatalf("π(%d,%d)=%v, want %v", v, w, got, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	l := tcldyn.New()
+	if _, err := l.Insert(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(0, nil); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, err := l.Insert(1, []graph.VertexID{42}); err == nil {
+		t.Fatal("unknown predecessor accepted")
+	}
+	if _, err := l.Reach(0, 42); err == nil {
+		t.Fatal("Reach with unknown vertex accepted")
+	}
+	if _, err := l.Reach(42, 0); err == nil {
+		t.Fatal("Reach with unknown vertex accepted")
+	}
+	if _, ok := l.Label(42); ok {
+		t.Fatal("Label of unknown vertex")
+	}
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestEmptyLabelerStats(t *testing.T) {
+	l := tcldyn.New()
+	if l.MaxBits() != 0 || l.TotalBits() != 0 || l.Count() != 0 {
+		t.Fatal("empty labeler stats wrong")
+	}
+}

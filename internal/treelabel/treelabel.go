@@ -1,0 +1,154 @@
+// Package treelabel implements the two classic tree labeling schemes
+// the paper builds on, as standalone components with ancestor queries:
+//
+//   - the interval-based scheme of Santoro & Khatib [22] — static,
+//     2·log n bits, used by the SKL baseline (Section 7.4);
+//   - the prefix-based (Dewey) scheme of Kaplan, Milo & Shabo [18] —
+//     dynamic (supports appending children anywhere, labels never
+//     change), the scheme DRL uses to label the explicit parse tree
+//     (Section 5.2).
+//
+// Section 7.4 explains DRL's shorter labels through exactly this
+// contrast: "the former [prefix] performs better on balanced trees
+// with relatively high degrees and low depth", which is what explicit
+// parse trees of large runs look like.
+package treelabel
+
+import (
+	"fmt"
+
+	"wfreach/internal/parsetree"
+)
+
+// Interval is a static interval label: Ancestor(a, b) iff a's interval
+// contains b's.
+type Interval struct {
+	Begin, End int32
+}
+
+// Contains reports whether a is an ancestor of (or equal to) b.
+func (a Interval) Contains(b Interval) bool {
+	return a.Begin <= b.Begin && b.End <= a.End
+}
+
+// IntervalLabeling assigns interval labels to a whole tree (static: it
+// must see the final tree).
+type IntervalLabeling struct {
+	labels map[*parsetree.Node]Interval
+	n      int32
+}
+
+// NewIntervalLabeling labels the tree rooted at root by DFS.
+func NewIntervalLabeling(root *parsetree.Node) *IntervalLabeling {
+	il := &IntervalLabeling{labels: make(map[*parsetree.Node]Interval)}
+	il.dfs(root)
+	return il
+}
+
+func (il *IntervalLabeling) dfs(n *parsetree.Node) {
+	begin := il.n
+	il.n++
+	for _, c := range n.Children {
+		il.dfs(c)
+	}
+	il.labels[n] = Interval{Begin: begin, End: il.n}
+	il.n++
+}
+
+// Label returns the interval of a node.
+func (il *IntervalLabeling) Label(n *parsetree.Node) (Interval, bool) {
+	l, ok := il.labels[n]
+	return l, ok
+}
+
+// Ancestor reports whether a is an ancestor of (or equal to) b, from
+// labels alone.
+func (il *IntervalLabeling) Ancestor(a, b *parsetree.Node) (bool, error) {
+	la, ok := il.labels[a]
+	if !ok {
+		return false, fmt.Errorf("treelabel: node not labeled")
+	}
+	lb, ok := il.labels[b]
+	if !ok {
+		return false, fmt.Errorf("treelabel: node not labeled")
+	}
+	return la.Contains(lb), nil
+}
+
+// Bits returns the label size in bits: two indexes of ⌈log₂ 2n⌉ each.
+func (il *IntervalLabeling) Bits() int {
+	b := 1
+	for 1<<b < int(il.n) {
+		b++
+	}
+	return 2 * b
+}
+
+// Prefix is a dynamic Dewey label: the child indexes from the root.
+// Ancestor(a, b) iff a is a prefix of b. Labels are assigned when a
+// node is created and never revised — new siblings extend the parent's
+// child count without touching existing labels, which is what makes
+// the scheme dynamic [18].
+type Prefix []int32
+
+// IsAncestorOf reports prefix containment (reflexive).
+func (p Prefix) IsAncestorOf(q Prefix) bool {
+	if len(p) > len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixLabeling labels a growing tree on the fly.
+type PrefixLabeling struct {
+	labels map[*parsetree.Node]Prefix
+}
+
+// NewPrefixLabeling starts a labeling with the given root.
+func NewPrefixLabeling(root *parsetree.Node) *PrefixLabeling {
+	pl := &PrefixLabeling{labels: make(map[*parsetree.Node]Prefix)}
+	pl.labels[root] = Prefix{}
+	return pl
+}
+
+// Extend labels a newly added child of an already-labeled parent. It
+// must be called exactly once per node, in creation order.
+func (pl *PrefixLabeling) Extend(child *parsetree.Node) error {
+	if _, dup := pl.labels[child]; dup {
+		return fmt.Errorf("treelabel: node labeled twice")
+	}
+	parent := child.Parent
+	pp, ok := pl.labels[parent]
+	if !ok {
+		return fmt.Errorf("treelabel: parent not labeled")
+	}
+	l := make(Prefix, len(pp)+1)
+	copy(l, pp)
+	l[len(pp)] = child.Index
+	pl.labels[child] = l
+	return nil
+}
+
+// Label returns the prefix label of a node.
+func (pl *PrefixLabeling) Label(n *parsetree.Node) (Prefix, bool) {
+	l, ok := pl.labels[n]
+	return l, ok
+}
+
+// Ancestor reports ancestry (reflexive) from labels alone.
+func (pl *PrefixLabeling) Ancestor(a, b *parsetree.Node) (bool, error) {
+	la, ok := pl.labels[a]
+	if !ok {
+		return false, fmt.Errorf("treelabel: node not labeled")
+	}
+	lb, ok := pl.labels[b]
+	if !ok {
+		return false, fmt.Errorf("treelabel: node not labeled")
+	}
+	return la.IsAncestorOf(lb), nil
+}

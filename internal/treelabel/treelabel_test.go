@@ -1,0 +1,153 @@
+package treelabel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach/internal/label"
+	"wfreach/internal/parsetree"
+	"wfreach/internal/treelabel"
+)
+
+// randomTree builds a random tree of n nodes, returning all nodes in
+// creation order (root first).
+func randomTree(rng *rand.Rand, n int) []*parsetree.Node {
+	root := parsetree.NewRoot(0, 1)
+	nodes := []*parsetree.Node{root}
+	for len(nodes) < n {
+		parent := nodes[rng.Intn(len(nodes))]
+		var child *parsetree.Node
+		if parent.IsSpecial() || rng.Intn(2) == 0 {
+			child = parent.AddInstance(0, 1, parent.NextIndex())
+		} else {
+			child = parent.AddSpecial(label.L, parent.NextIndex())
+		}
+		nodes = append(nodes, child)
+	}
+	return nodes
+}
+
+// isAncestor is the ground truth via parent pointers.
+func isAncestor(a, b *parsetree.Node) bool {
+	for n := b; n != nil; n = n.Parent {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIntervalMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		nodes := randomTree(rng, 10+rng.Intn(60))
+		il := treelabel.NewIntervalLabeling(nodes[0])
+		for _, a := range nodes {
+			for _, b := range nodes {
+				got, err := il.Ancestor(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := isAncestor(a, b); got != want {
+					t.Fatalf("interval ancestor(%p,%p)=%v, want %v", a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		nodes := randomTree(rng, 10+rng.Intn(60))
+		pl := treelabel.NewPrefixLabeling(nodes[0])
+		for _, n := range nodes[1:] {
+			if err := pl.Extend(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				got, err := pl.Ancestor(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := isAncestor(a, b); got != want {
+					t.Fatalf("prefix ancestor=%v, want %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixLabelsAreDynamic: labels assigned early never change as
+// the tree grows — the property interval labels lack (their intervals
+// depend on the final subtree sizes).
+func TestPrefixLabelsAreDynamic(t *testing.T) {
+	root := parsetree.NewRoot(0, 1)
+	pl := treelabel.NewPrefixLabeling(root)
+	c1 := root.AddInstance(0, 1, root.NextIndex())
+	if err := pl.Extend(c1); err != nil {
+		t.Fatal(err)
+	}
+	early, _ := pl.Label(c1)
+	snapshot := append(treelabel.Prefix(nil), early...)
+	// Grow the tree substantially.
+	rng := rand.New(rand.NewSource(3))
+	nodes := []*parsetree.Node{root, c1}
+	for i := 0; i < 50; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := parent.AddInstance(0, 1, parent.NextIndex())
+		if err := pl.Extend(child); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, child)
+	}
+	late, _ := pl.Label(c1)
+	if !snapshot.IsAncestorOf(late) || !late.IsAncestorOf(snapshot) {
+		t.Fatal("early label changed as the tree grew")
+	}
+}
+
+func TestPrefixErrors(t *testing.T) {
+	root := parsetree.NewRoot(0, 1)
+	pl := treelabel.NewPrefixLabeling(root)
+	c := root.AddInstance(0, 1, root.NextIndex())
+	grand := c.AddInstance(0, 1, c.NextIndex())
+	// Grandchild before child: parent unlabeled.
+	if err := pl.Extend(grand); err == nil {
+		t.Fatal("extending under unlabeled parent accepted")
+	}
+	if err := pl.Extend(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Extend(c); err == nil {
+		t.Fatal("double Extend accepted")
+	}
+	other := parsetree.NewRoot(0, 1)
+	if _, err := pl.Ancestor(other, c); err == nil {
+		t.Fatal("unlabeled node accepted in query")
+	}
+	if _, err := pl.Ancestor(c, other); err == nil {
+		t.Fatal("unlabeled node accepted in query")
+	}
+}
+
+func TestIntervalBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nodes := randomTree(rng, 100)
+	il := treelabel.NewIntervalLabeling(nodes[0])
+	// 2·⌈log₂ 200⌉ = 16 bits.
+	if got := il.Bits(); got != 16 {
+		t.Fatalf("Bits = %d, want 16", got)
+	}
+	if _, ok := il.Label(nodes[3]); !ok {
+		t.Fatal("node unlabeled")
+	}
+	if _, err := il.Ancestor(parsetree.NewRoot(0, 1), nodes[0]); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+	if _, err := il.Ancestor(nodes[0], parsetree.NewRoot(0, 1)); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+}

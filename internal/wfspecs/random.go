@@ -1,0 +1,151 @@
+package wfspecs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/spec"
+)
+
+// RandomParams configures RandomSpec, the randomized well-formed
+// specification generator used by the property tests: it covers the
+// whole model — plain composites with alternative implementations,
+// loops, forks, and an optional recursion cycle of configurable length
+// and linearity.
+type RandomParams struct {
+	// Plain, Loops, Forks are the number of modules of each kind
+	// (beyond the recursion cycle).
+	Plain, Loops, Forks int
+	// RecursionLen is the length of the recursion cycle R1→R2→…→R1
+	// (0 disables recursion; 1 gives direct self-recursion).
+	RecursionLen int
+	// NonlinearRec duplicates the recursive vertex in one production,
+	// making the grammar nonlinear (series or parallel depending on
+	// the random topology).
+	NonlinearRec bool
+	// MaxGraphSize bounds each graph's vertex count (minimum 4 is
+	// enforced so interior composites fit).
+	MaxGraphSize int
+	// Seed drives all choices.
+	Seed int64
+}
+
+// RandomSpec builds a random well-formed specification. Modules are
+// arranged in a reference DAG (each implementation only mentions
+// strictly later modules) so the only cycles in the "induces" relation
+// are the requested recursion cycle; with NonlinearRec false the
+// result is therefore linear recursive by construction.
+func RandomSpec(p RandomParams) *spec.Spec {
+	if p.MaxGraphSize < 4 {
+		p.MaxGraphSize = 4
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := spec.NewBuilder()
+
+	// Module order: plain/loops/forks shuffled, recursion cycle last.
+	type module struct {
+		name string
+		kind spec.Kind
+	}
+	var mods []module
+	for i := 0; i < p.Plain; i++ {
+		mods = append(mods, module{fmt.Sprintf("P%d", i), spec.Plain})
+	}
+	for i := 0; i < p.Loops; i++ {
+		mods = append(mods, module{fmt.Sprintf("L%d", i), spec.Loop})
+	}
+	for i := 0; i < p.Forks; i++ {
+		mods = append(mods, module{fmt.Sprintf("F%d", i), spec.Fork})
+	}
+	rng.Shuffle(len(mods), func(i, j int) { mods[i], mods[j] = mods[j], mods[i] })
+	for _, m := range mods {
+		switch m.kind {
+		case spec.Loop:
+			b.Loop(m.name)
+		case spec.Fork:
+			b.Fork(m.name)
+		default:
+			b.Composite(m.name)
+		}
+	}
+	var recs []string
+	for i := 0; i < p.RecursionLen; i++ {
+		recs = append(recs, fmt.Sprintf("R%d", i))
+	}
+	b.Composite(recs...)
+
+	gid := 0
+	// body builds a random two-terminal graph embedding the given
+	// composite names (possibly with repeats) at interior positions.
+	body := func(composites ...string) *graph.Graph {
+		gid++
+		slack := p.MaxGraphSize - 2 - len(composites)
+		n := 2 + len(composites)
+		if slack > 0 {
+			n += rng.Intn(slack + 1)
+		}
+		names := make([]string, n)
+		names[0] = fmt.Sprintf("s%d", gid)
+		names[n-1] = fmt.Sprintf("t%d", gid)
+		for i := 1; i < n-1; i++ {
+			names[i] = fmt.Sprintf("a%d_%d", gid, i)
+		}
+		perm := rng.Perm(n - 2)
+		for i, c := range composites {
+			names[1+perm[i]] = c
+		}
+		return graph.RandomTwoTerminal(rng, n, 0.3+rng.Float64()*0.4, names)
+	}
+
+	// laterMods picks up to k modules with index strictly greater than
+	// from (so the reference relation is a DAG on non-recursive names);
+	// modules may also reference the recursion entry R0.
+	laterMods := func(from, k int) []string {
+		var pool []string
+		for i := from + 1; i < len(mods); i++ {
+			pool = append(pool, mods[i].name)
+		}
+		if len(recs) > 0 {
+			pool = append(pool, recs[0])
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		if k > len(pool) {
+			k = len(pool)
+		}
+		return pool[:k]
+	}
+
+	// Start graph references a few first-tier modules.
+	firstTier := 1
+	if len(mods) > 2 {
+		firstTier += rng.Intn(2)
+	}
+	b.Start("g0", body(laterMods(-1, firstTier)...))
+
+	// Implementations: each module references later modules; plain
+	// modules may get a second, alternative implementation.
+	for i, m := range mods {
+		children := laterMods(i, rng.Intn(3))
+		b.Implement(m.name, fmt.Sprintf("h%s", m.name), body(children...))
+		if m.kind == spec.Plain && rng.Intn(3) == 0 {
+			b.Implement(m.name, fmt.Sprintf("h%s_alt", m.name), body(laterMods(i, rng.Intn(2))...))
+		}
+	}
+
+	// Recursion cycle: R_i's implementation contains R_{i+1 mod len};
+	// one member gets an atomic base implementation so the cycle
+	// terminates. With NonlinearRec, the closing production carries the
+	// recursive vertex twice.
+	for i, r := range recs {
+		next := recs[(i+1)%len(recs)]
+		if p.NonlinearRec && i == len(recs)-1 {
+			b.Implement(r, fmt.Sprintf("h%s", r), body(next, next))
+		} else {
+			b.Implement(r, fmt.Sprintf("h%s", r), body(next))
+		}
+		b.Implement(r, fmt.Sprintf("h%s_base", r), body())
+	}
+
+	return b.MustBuild()
+}

@@ -1,0 +1,276 @@
+// Package wfspecs provides the workflow specifications used throughout
+// the paper: the running example of Figure 2, the lower-bound grammars
+// of Figures 6 and 12, the synthetic family of Figure 13, and a
+// reconstruction of the BioAID workflow evaluated in Section 7.2.
+package wfspecs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wfreach/internal/graph"
+	"wfreach/internal/spec"
+)
+
+// RunningExample returns the specification of Figure 2: a loop L, a
+// fork F, and a linear recursion between A and C.
+//
+//	g0: s0 → L → t0
+//	h1 (L):  s1 → F → t1
+//	h2 (F):  s2 → A → t2
+//	h3 (A):  s3 → B → C → t3
+//	h4 (A):  s4 → t4
+//	h5 (B):  s5 → t5
+//	h6 (C):  s6 → A → t6
+func RunningExample() *spec.Spec {
+	return spec.NewBuilder().
+		Loop("L").Fork("F").Composite("A", "B", "C").
+		Start("g0", spec.G([]string{"s0", "L", "t0"},
+			[2]string{"s0", "L"}, [2]string{"L", "t0"})).
+		Implement("L", "h1", spec.G([]string{"s1", "F", "t1"},
+			[2]string{"s1", "F"}, [2]string{"F", "t1"})).
+		Implement("F", "h2", spec.G([]string{"s2", "A", "t2"},
+			[2]string{"s2", "A"}, [2]string{"A", "t2"})).
+		Implement("A", "h3", spec.G([]string{"s3", "B", "C", "t3"},
+			[2]string{"s3", "B"}, [2]string{"B", "C"}, [2]string{"C", "t3"})).
+		Implement("A", "h4", spec.G([]string{"s4", "t4"},
+			[2]string{"s4", "t4"})).
+		Implement("B", "h5", spec.G([]string{"s5", "t5"},
+			[2]string{"s5", "t5"})).
+		Implement("C", "h6", spec.G([]string{"s6", "A", "t6"},
+			[2]string{"s6", "A"}, [2]string{"A", "t6"})).
+		MustBuild()
+}
+
+// Fig6 returns the grammar of Figure 6, for which Theorem 1 proves
+// that any dynamic labeling scheme needs Ω(n)-bit labels: h1 has two
+// parallel recursive vertices, with the differential vertex a reaching
+// exactly one of them.
+//
+//	g0: s0 → A → t0
+//	h1 (A): s1 → a → A₁ → t1, s1 → A₂ → t1
+//	h2 (A): s2 → t2
+func Fig6() *spec.Spec {
+	h1 := spec.GIdx([]string{"s1", "a", "A", "A", "t1"},
+		[2]int{0, 1}, [2]int{1, 2}, [2]int{2, 4}, [2]int{0, 3}, [2]int{3, 4})
+	return spec.NewBuilder().
+		Composite("A").
+		Start("g0", spec.G([]string{"s0", "A", "t0"},
+			[2]string{"s0", "A"}, [2]string{"A", "t0"})).
+		Implement("A", "h1", h1).
+		Implement("A", "h2", spec.G([]string{"s2", "t2"}, [2]string{"s2", "t2"})).
+		MustBuild()
+}
+
+// Fig12 returns the grammar of Figure 12 (Example 15): nonlinear
+// series recursion whose runs are simple paths, so a compact
+// execution-based scheme exists despite the nonlinearity.
+//
+//	g0: s0 → A → t0
+//	h1 (A): s1 → A₁ → A₂ → t1
+//	h2 (A): s2 → t2
+func Fig12() *spec.Spec {
+	h1 := spec.GIdx([]string{"s1", "A", "A", "t1"},
+		[2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	return spec.NewBuilder().
+		Composite("A").
+		Start("g0", spec.G([]string{"s0", "A", "t0"},
+			[2]string{"s0", "A"}, [2]string{"A", "t0"})).
+		Implement("A", "h1", h1).
+		Implement("A", "h2", spec.G([]string{"s2", "t2"}, [2]string{"s2", "t2"})).
+		MustBuild()
+}
+
+// SyntheticParams configures the Figure 13 synthetic family.
+type SyntheticParams struct {
+	// SubSize is the number of vertices of every sub-workflow
+	// (including its terminals and its one composite vertex);
+	// Section 7.3 varies it from 10 to 160. Minimum 3.
+	SubSize int
+	// Depth is the nesting depth of sub-workflows (Section 7.3 varies
+	// it from 5 to 25). Minimum 4: the chain always ends with the loop
+	// L, the fork F and the recursive module R of Figure 13.
+	Depth int
+	// RecModules is the number of R modules in the recursive
+	// implementation h′d: 1 gives a linear recursive workflow, 2 the
+	// nonlinear one of Figure 19. Minimum 1.
+	RecModules int
+	// Seed drives the random two-terminal topology of each
+	// sub-workflow.
+	Seed int64
+}
+
+// Synthetic builds a member of the Figure 13 family: a chain of nested
+// random two-terminal sub-workflows g0 → h1 → … ending with one loop
+// module L, one fork module F and one recursive module R whose
+// recursive implementation h′d contains RecModules R vertices; R also
+// has a terminal implementation hd so runs terminate.
+func Synthetic(p SyntheticParams) *spec.Spec {
+	if p.SubSize < 3 {
+		p.SubSize = 3
+	}
+	if p.Depth < 4 {
+		p.Depth = 4
+	}
+	if p.RecModules < 1 {
+		p.RecModules = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := spec.NewBuilder()
+
+	// Module names along the chain: plain M1..Mk, then L, F, R.
+	modules := make([]string, p.Depth)
+	for i := 0; i < p.Depth-3; i++ {
+		modules[i] = fmt.Sprintf("M%d", i+1)
+	}
+	modules[p.Depth-3] = "L"
+	modules[p.Depth-2] = "F"
+	modules[p.Depth-1] = "R"
+	for _, m := range modules {
+		switch m {
+		case "L":
+			b.Loop(m)
+		case "F":
+			b.Fork(m)
+		default:
+			b.Composite(m)
+		}
+	}
+
+	// subGraph builds a random two-terminal graph of SubSize vertices
+	// whose interior contains the given composite vertices at random
+	// positions; lvl makes atomic names unique per graph.
+	subGraph := func(lvl string, composites ...string) *graph.Graph {
+		n := p.SubSize
+		if n < len(composites)+2 {
+			n = len(composites) + 2
+		}
+		names := make([]string, n)
+		names[0] = "s" + lvl
+		names[n-1] = "t" + lvl
+		for i := 1; i < n-1; i++ {
+			names[i] = fmt.Sprintf("a%s_%d", lvl, i)
+		}
+		// Place composites at distinct interior positions.
+		perm := rng.Perm(n - 2)
+		for i, c := range composites {
+			names[1+perm[i]] = c
+		}
+		return graph.RandomTwoTerminal(rng, n, 0.4, names)
+	}
+
+	b.Start("g0", subGraph("0", modules[0]))
+	for i := 0; i < p.Depth-1; i++ {
+		b.Implement(modules[i], fmt.Sprintf("h%d", i+1), subGraph(fmt.Sprintf("%d", i+1), modules[i+1]))
+	}
+	// R's implementations: the recursive body h′d with RecModules R
+	// vertices, and the terminal body hd.
+	recs := make([]string, p.RecModules)
+	for i := range recs {
+		recs[i] = "R"
+	}
+	rec := subGraphDup(rng, p.SubSize, fmt.Sprintf("%dr", p.Depth), recs)
+	b.Implement("R", fmt.Sprintf("h%dr", p.Depth), rec)
+	b.Implement("R", fmt.Sprintf("h%d", p.Depth), subGraph(fmt.Sprintf("%d", p.Depth)))
+	return b.MustBuild()
+}
+
+// subGraphDup is like subGraph but allows the same composite name to
+// occur several times (the nonlinear h′d of Figure 19 has two R
+// modules).
+func subGraphDup(rng *rand.Rand, size int, lvl string, composites []string) *graph.Graph {
+	n := size
+	if n < len(composites)+2 {
+		n = len(composites) + 2
+	}
+	names := make([]string, n)
+	names[0] = "s" + lvl
+	names[n-1] = "t" + lvl
+	for i := 1; i < n-1; i++ {
+		names[i] = fmt.Sprintf("a%s_%d", lvl, i)
+	}
+	perm := rng.Perm(n - 2)
+	for i, c := range composites {
+		names[1+perm[i]] = c
+	}
+	return graph.RandomTwoTerminal(rng, n, 0.4, names)
+}
+
+// BioAID returns a reconstruction of the BioAID workflow from the
+// myExperiment repository, matching every statistic Section 7.2
+// reports: 11 sub-workflows with an average size of ~10.5 vertices,
+// nesting depth 2, two loop modules, four fork modules and one linear
+// recursion of length 2 (A ↔ C). The original workflow is not
+// available offline; labeling behavior depends only on these
+// structural statistics (see DESIGN.md).
+func BioAID() *spec.Spec {
+	return bioAID(true)
+}
+
+// BioAIDNonRecursive returns the de-recursed variant used for the
+// DRL-vs-SKL comparison of Section 7.4, where "the linear recursion in
+// this workflow can be converted to a loop which performs similar
+// computations": A and C are replaced by a loop module AL whose body
+// is the unrolled A→C round. Its global inlined specification has
+// exactly 106 vertices, reproducing Table 2's 5565-bit SKL skeleton.
+func BioAIDNonRecursive() *spec.Spec {
+	return bioAID(false)
+}
+
+func bioAID(recursive bool) *spec.Spec {
+	rng := rand.New(rand.NewSource(77))
+	b := spec.NewBuilder().
+		Loop("L1", "L2").
+		Fork("F1", "F2", "F3", "F4").
+		Composite("P1")
+
+	// body builds a random two-terminal graph with the given total
+	// size, terminals s<lvl>/t<lvl>, and composites placed inside.
+	body := func(lvl string, size int, composites ...string) *graph.Graph {
+		names := make([]string, size)
+		names[0] = "s" + lvl
+		names[size-1] = "t" + lvl
+		for i := 1; i < size-1; i++ {
+			names[i] = fmt.Sprintf("m%s_%d", lvl, i)
+		}
+		perm := rng.Perm(size - 2)
+		for i, c := range composites {
+			names[1+perm[i]] = c
+		}
+		return graph.RandomTwoTerminal(rng, size, 0.35, names)
+	}
+
+	if recursive {
+		b.Composite("A", "C")
+		// 11 graphs, sizes 12,11,11,10,10,9,10,11,11,10,11 = 116 total,
+		// average 10.5 (Section 7.2).
+		b.Start("g0", body("0", 12, "L1", "F1", "F2", "A", "P1"))
+		b.Implement("L1", "h1", body("1", 11, "F3"))
+		b.Implement("F1", "h2", body("2", 11, "L2"))
+		b.Implement("F2", "h3", body("3", 10, "F4"))
+		b.Implement("A", "h4", body("4", 10, "C")) // recursive alternative
+		b.Implement("A", "h5", body("5", 9))       // base alternative
+		b.Implement("C", "h6", body("6", 10, "A")) // closes the A↔C recursion
+		b.Implement("L2", "h7", body("7", 11))
+		b.Implement("F3", "h8", body("8", 11))
+		b.Implement("F4", "h9", body("9", 10))
+		b.Implement("P1", "h10", body("10", 11))
+		return b.MustBuild()
+	}
+
+	// De-recursed: A ↔ C becomes the loop AL with the unrolled body
+	// (27 atomic vertices: the 9+9+9 atoms of h4, h6 and h5), sized so
+	// the global inlined specification has exactly
+	// 7+21+21+19+11+27 = 106 vertices.
+	b.Loop("AL")
+	b.Start("g0", body("0", 12, "L1", "F1", "F2", "AL", "P1"))
+	b.Implement("L1", "h1", body("1", 11, "F3"))
+	b.Implement("F1", "h2", body("2", 11, "L2"))
+	b.Implement("F2", "h3", body("3", 10, "F4"))
+	b.Implement("AL", "h4", body("4", 27))
+	b.Implement("L2", "h7", body("7", 11))
+	b.Implement("F3", "h8", body("8", 11))
+	b.Implement("F4", "h9", body("9", 10))
+	b.Implement("P1", "h10", body("10", 11))
+	return b.MustBuild()
+}

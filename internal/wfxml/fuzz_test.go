@@ -1,0 +1,45 @@
+package wfxml_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wfreach/internal/wfspecs"
+	"wfreach/internal/wfxml"
+)
+
+// FuzzDecodeSpec: arbitrary bytes must never panic the specification
+// decoder; anything that decodes must be a valid spec that re-encodes.
+func FuzzDecodeSpec(f *testing.F) {
+	var buf bytes.Buffer
+	if err := wfxml.EncodeSpec(&buf, wfspecs.RunningExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	buf.Reset()
+	if err := wfxml.EncodeSpec(&buf, wfspecs.Fig6()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("<specification></specification>")
+	f.Add("not xml")
+	f.Add(`<specification><graph label="g0"><vertex id="0" name="s"/></graph></specification>`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := wfxml.DecodeSpec(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := wfxml.EncodeSpec(&out, s); err != nil {
+			t.Fatalf("decoded spec failed to re-encode: %v", err)
+		}
+		s2, err := wfxml.DecodeSpec(&out)
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v", err)
+		}
+		if s2.String() != s.String() {
+			t.Fatalf("round trip drift:\n in: %s\nout: %s", s, s2)
+		}
+	})
+}
