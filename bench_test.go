@@ -7,6 +7,7 @@ package wfreach_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"wfreach"
@@ -348,6 +349,87 @@ func BenchmarkFig22QueryTime(b *testing.B) {
 	b.Run("DRL-BFS", func(b *testing.B) { queryBench(b, r, dBFS.Reach) })
 	b.Run("SKL-TCL", func(b *testing.B) { queryBench(b, r, sTCL.Reach) })
 	b.Run("SKL-BFS", func(b *testing.B) { queryBench(b, r, sBFS.Reach) })
+}
+
+// BenchmarkServiceIngest measures streaming-event throughput through a
+// provenance-service session (labeling + encoding + store publication)
+// — the server hot path behind cmd/wfserve — with and without
+// concurrent readers issuing reachability queries from the encoded
+// labels. Detailed variants live in internal/service.
+func BenchmarkServiceIngest(b *testing.B) {
+	g, r := benchRun(b, wfreach.BioAID(), benchRunSize, 23)
+	evs, err := r.Execution(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ingest := func(b *testing.B) *wfreach.Session {
+		s, err := wfreach.NewRegistry().Create("bench", g, wfreach.SessionConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < len(evs); i += 256 {
+			end := min(i+256, len(evs))
+			if _, err := s.Append(evs[i:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	b.Run("ingest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ingest(b)
+		}
+		b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("ingest+readers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			s, err := wfreach.NewRegistry().Create("bench", g, wfreach.SessionConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for ri := 0; ri < 4; ri++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := s.Vertices()
+						if n < 2 {
+							continue
+						}
+						_, _ = s.Reach(evs[rng.Int63n(n)].V, evs[rng.Int63n(n)].V)
+					}
+				}(int64(ri))
+			}
+			for j := 0; j < len(evs); j += 256 {
+				end := min(j+256, len(evs))
+				if _, err := s.Append(evs[j:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		}
+		b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("query", func(b *testing.B) {
+		s := ingest(b)
+		queryBench(b, r, func(v, w wfreach.VertexID) bool {
+			ok, err := s.Reach(v, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ok
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
 }
 
 func sizeTag(prefix string, n int) string {

@@ -129,22 +129,38 @@ func main() {
 	}
 
 	for _, q := range queries {
-		parts := strings.SplitN(q, ",", 2)
-		if len(parts) != 2 {
-			fail(fmt.Errorf("query %q is not \"v,w\"", q))
+		vid, wid, err := parseQuery(q)
+		if err != nil {
+			fail(err)
 		}
-		v, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-		w, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil {
-			fail(fmt.Errorf("query %q is not numeric", q))
-		}
-		vid, wid := wfreach.VertexID(v), wfreach.VertexID(w)
 		if _, ok := labelOf(vid); !ok {
-			fail(fmt.Errorf("vertex %d is not a labeled run vertex", v))
+			fail(fmt.Errorf("query %q: vertex %d is not a labeled run vertex", q, vid))
 		}
 		if _, ok := labelOf(wid); !ok {
-			fail(fmt.Errorf("vertex %d is not a labeled run vertex", w))
+			fail(fmt.Errorf("query %q: vertex %d is not a labeled run vertex", q, wid))
 		}
-		fmt.Printf("reach(%d→%d) = %v   (%s → %s)\n", v, w, reach(vid, wid), r.NameOf(vid), r.NameOf(wid))
+		fmt.Printf("reach(%d→%d) = %v   (%s → %s)\n", vid, wid, reach(vid, wid), r.NameOf(vid), r.NameOf(wid))
 	}
+}
+
+// parseQuery parses a -query value "v,w" into two vertex ids. Exactly
+// two comma-separated non-negative integers within the VertexID range
+// are accepted; anything else is a descriptive error.
+func parseQuery(q string) (v, w wfreach.VertexID, err error) {
+	parts := strings.Split(q, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("query %q is not \"v,w\" (two comma-separated vertex ids)", q)
+	}
+	ids := [2]wfreach.VertexID{}
+	for i, p := range parts {
+		n, perr := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("query %q: %q is not a vertex id", q, strings.TrimSpace(p))
+		}
+		if n < 0 {
+			return 0, 0, fmt.Errorf("query %q: vertex id %d is negative", q, n)
+		}
+		ids[i] = wfreach.VertexID(n)
+	}
+	return ids[0], ids[1], nil
 }

@@ -99,3 +99,58 @@ func TestWflabelErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in      string
+		v, w    wfreach.VertexID
+		wantErr string
+	}{
+		{in: "3,141", v: 3, w: 141},
+		{in: "0,0", v: 0, w: 0},
+		{in: " 7 , 9 ", v: 7, w: 9}, // whitespace tolerated
+		{in: "3", wantErr: `not "v,w"`},
+		{in: "", wantErr: `not "v,w"`},
+		{in: "1,2,3", wantErr: `not "v,w"`},
+		{in: "a,b", wantErr: "not a vertex id"},
+		{in: "1,", wantErr: "not a vertex id"},
+		{in: ",1", wantErr: "not a vertex id"},
+		{in: "1.5,2", wantErr: "not a vertex id"},
+		{in: "-1,2", wantErr: "is negative"},
+		{in: "2,-4", wantErr: "is negative"},
+		{in: "99999999999999,1", wantErr: "not a vertex id"}, // int32 overflow
+		{in: "0x10,1", wantErr: "not a vertex id"},
+	}
+	for _, tc := range cases {
+		v, w, err := parseQuery(tc.in)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("parseQuery(%q) = (%d,%d), want error containing %q", tc.in, v, w, tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseQuery(%q) error %q, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseQuery(%q): %v", tc.in, err)
+			continue
+		}
+		if v != tc.v || w != tc.w {
+			t.Errorf("parseQuery(%q) = (%d,%d), want (%d,%d)", tc.in, v, w, tc.v, tc.w)
+		}
+	}
+}
+
+// Out-of-range but well-formed ids must produce a clear error naming
+// the query, not a panic or a silent misparse.
+func TestWflabelOutOfRangeQueryMessage(t *testing.T) {
+	bin := buildOnce(t)
+	out, err := exec.Command(bin, "-size", "50", "-query", "999999,0").CombinedOutput()
+	if err == nil {
+		t.Fatalf("out-of-range query should fail:\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "999999,0") || !strings.Contains(s, "not a labeled run vertex") {
+		t.Fatalf("unclear error message:\n%s", s)
+	}
+}

@@ -1,0 +1,283 @@
+// Command wfload drives a running wfserve: it generates workflow runs,
+// replays their execution streams against the server at configurable
+// concurrency and batch size, interleaves reachability queries, and
+// reports ingest/query throughput and latency percentiles.
+//
+// Usage:
+//
+//	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 10000 -sessions 4 -batch 128 -readers 4
+//	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify
+//
+// Each session gets its own generated run (distinct seeds) and its own
+// writer goroutine streaming event batches; -readers query goroutines
+// per session issue reach queries over the already-acknowledged prefix
+// while ingestion is in flight. With -verify every query answer is
+// checked against BFS ground truth on the generated run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfreach"
+)
+
+type config struct {
+	addr     string
+	spec     string
+	size     int
+	seed     int64
+	sessions int
+	batch    int
+	readers  int
+	verify   bool
+	prefix   string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "wfserve base URL")
+	flag.StringVar(&cfg.spec, "spec", "BioAID", "built-in specification to load")
+	flag.IntVar(&cfg.size, "size", 10000, "target vertices per generated run")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base generation seed (session i uses seed+i)")
+	flag.IntVar(&cfg.sessions, "sessions", 2, "concurrent sessions (one writer each)")
+	flag.IntVar(&cfg.batch, "batch", 128, "events per ingest batch")
+	flag.IntVar(&cfg.readers, "readers", 2, "query goroutines per session")
+	flag.BoolVar(&cfg.verify, "verify", false, "check query answers against BFS ground truth")
+	flag.StringVar(&cfg.prefix, "prefix", "load", "session name prefix")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// latencies collects durations for percentile reporting.
+type latencies struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (l *latencies) add(d time.Duration) {
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+func (l *latencies) percentile(p float64) time.Duration {
+	if len(l.ds) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(l.ds)-1))
+	return l.ds[i]
+}
+
+func (l *latencies) sorted() *latencies {
+	sort.Slice(l.ds, func(i, j int) bool { return l.ds[i] < l.ds[j] })
+	return l
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out != nil && len(raw) > 0 {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+type reachResponse struct {
+	Reachable bool `json:"reachable"`
+}
+
+func run(cfg config, out io.Writer) error {
+	spec, ok := wfreach.BuiltinSpec(cfg.spec)
+	if !ok {
+		return fmt.Errorf("unknown builtin %q", cfg.spec)
+	}
+	g, err := wfreach.Compile(spec)
+	if err != nil {
+		return err
+	}
+	c := &client{base: cfg.addr, http: &http.Client{Timeout: 30 * time.Second}}
+
+	// Generate all streams up front so generation cost stays out of the
+	// measured window.
+	type sessionLoad struct {
+		name   string
+		events []wfreach.Event
+		run    *wfreach.Run
+	}
+	loads := make([]sessionLoad, cfg.sessions)
+	total := 0
+	for i := range loads {
+		events, r, err := wfreach.GenerateEvents(g, wfreach.GenOptions{
+			TargetSize: cfg.size, Seed: cfg.seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		loads[i] = sessionLoad{name: fmt.Sprintf("%s-%d", cfg.prefix, i), events: events, run: r}
+		total += len(events)
+	}
+	fmt.Fprintf(out, "wfload: %d sessions × ~%d vertices (%d events total), batch=%d, readers=%d/session\n",
+		cfg.sessions, cfg.size, total, cfg.batch, cfg.readers)
+
+	for _, l := range loads {
+		if err := c.do("POST", "/v1/sessions",
+			map[string]string{"name": l.name, "builtin": cfg.spec}, nil); err != nil {
+			return fmt.Errorf("create session %s: %w", l.name, err)
+		}
+	}
+
+	var (
+		wg         sync.WaitGroup
+		ingested   atomic.Int64
+		queried    atomic.Int64
+		queryErrs  atomic.Int64
+		mismatches atomic.Int64
+		ingestLat  latencies
+		queryLat   latencies
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	for i := range loads {
+		l := loads[i]
+		watermark := new(atomic.Int64)
+		done := make(chan struct{})
+
+		wg.Add(1)
+		go func() { // single writer per session
+			defer wg.Done()
+			defer close(done)
+			for lo := 0; lo < len(l.events); lo += cfg.batch {
+				hi := min(lo+cfg.batch, len(l.events))
+				wire := make([]wfreach.WireEvent, 0, hi-lo)
+				for _, ev := range l.events[lo:hi] {
+					wire = append(wire, wfreach.ToWire(ev))
+				}
+				t0 := time.Now()
+				err := c.do("POST", "/v1/sessions/"+l.name+"/events",
+					map[string]any{"events": wire}, nil)
+				ingestLat.add(time.Since(t0))
+				if err != nil {
+					setErr(fmt.Errorf("ingest %s at %d: %w", l.name, lo, err))
+					return
+				}
+				ingested.Add(int64(hi - lo))
+				watermark.Store(int64(hi))
+			}
+		}()
+
+		for ri := 0; ri < cfg.readers; ri++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					wm := watermark.Load()
+					if wm < 2 {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					v := l.events[rng.Int63n(wm)].V
+					w := l.events[rng.Int63n(wm)].V
+					var rr reachResponse
+					t0 := time.Now()
+					err := c.do("GET",
+						fmt.Sprintf("/v1/sessions/%s/reach?from=%d&to=%d", l.name, v, w), nil, &rr)
+					queryLat.add(time.Since(t0))
+					if err != nil {
+						queryErrs.Add(1)
+						continue
+					}
+					queried.Add(1)
+					if cfg.verify && rr.Reachable != l.run.Reaches(v, w) {
+						mismatches.Add(1)
+						setErr(fmt.Errorf("query mismatch: %s reach(%d,%d)=%v", l.name, v, w, rr.Reachable))
+					}
+				}
+			}(int64(i*cfg.readers + ri))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return firstErr
+	}
+
+	il, ql := ingestLat.sorted(), queryLat.sorted()
+	fmt.Fprintf(out, "ingest: %d events in %v  (%.0f events/sec)\n",
+		ingested.Load(), elapsed.Round(time.Millisecond),
+		float64(ingested.Load())/elapsed.Seconds())
+	fmt.Fprintf(out, "ingest batch latency: p50=%v p90=%v p99=%v\n",
+		il.percentile(0.50).Round(time.Microsecond),
+		il.percentile(0.90).Round(time.Microsecond),
+		il.percentile(0.99).Round(time.Microsecond))
+	fmt.Fprintf(out, "queries: %d ok, %d errors  (%.0f queries/sec)\n",
+		queried.Load(), queryErrs.Load(), float64(queried.Load())/elapsed.Seconds())
+	fmt.Fprintf(out, "query latency: p50=%v p90=%v p99=%v\n",
+		ql.percentile(0.50).Round(time.Microsecond),
+		ql.percentile(0.90).Round(time.Microsecond),
+		ql.percentile(0.99).Round(time.Microsecond))
+	if cfg.verify {
+		fmt.Fprintf(out, "verify: %d mismatches over %d checked queries\n", mismatches.Load(), queried.Load())
+	}
+	return nil
+}

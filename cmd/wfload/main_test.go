@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfreach"
+)
+
+// TestRunAgainstInProcessServer drives the full load-generation path
+// (create sessions, stream batches, interleaved verified queries,
+// report) against an in-process wfserve handler.
+func TestRunAgainstInProcessServer(t *testing.T) {
+	srv := httptest.NewServer(wfreach.NewServiceHandler(wfreach.NewRegistry()))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	cfg := config{
+		addr:     srv.URL,
+		spec:     "BioAID",
+		size:     800,
+		seed:     1,
+		sessions: 2,
+		batch:    64,
+		readers:  2,
+		verify:   true,
+		prefix:   "t",
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"events/sec", "queries/sec", "p50=", "p99=", "0 mismatches"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "ingest: 0 events") {
+		t.Fatalf("nothing ingested:\n%s", s)
+	}
+}
+
+func TestRunUnknownSpec(t *testing.T) {
+	if err := run(config{spec: "NoSuchSpec"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	cfg := config{
+		addr: "http://127.0.0.1:1", spec: "RunningExample",
+		size: 50, sessions: 1, batch: 16, readers: 1, prefix: "x",
+	}
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestWfloadBinaryBuildsAndFailsCleanly(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "wfload")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	// No server at the target: clean error exit, not a hang or panic.
+	out, err := exec.Command(bin, "-addr", "http://127.0.0.1:1", "-spec", "RunningExample",
+		"-size", "50", "-sessions", "1", "-readers", "1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("should fail with no server:\n%s", out)
+	}
+	if !strings.Contains(string(out), "wfload:") {
+		t.Fatalf("no error message:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wfreach"
+)
+
+func buildOnce(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wfserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches the binary on an ephemeral port and returns its
+// base URL, scraping the printed listen address.
+func startServer(t *testing.T, args ...string) string {
+	t.Helper()
+	bin := buildOnce(t)
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	urlCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				urlCh <- strings.TrimSpace(rest)
+				return
+			}
+		}
+	}()
+	select {
+	case u := <-urlCh:
+		return u
+	case <-deadline:
+		t.Fatal("server never printed its listen address")
+		return ""
+	}
+}
+
+func TestWfserveEndToEnd(t *testing.T) {
+	base := startServer(t)
+
+	// Create a session on a built-in spec.
+	body, _ := json.Marshal(map[string]string{"name": "e2e", "builtin": "RunningExample"})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	// Stream a generated execution and query it.
+	g := wfreach.MustCompile(wfreach.RunningExample())
+	events, r, err := wfreach.GenerateEvents(g, wfreach.GenOptions{TargetSize: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]wfreach.WireEvent, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	body, _ = json.Marshal(map[string]any{"events": wire})
+	resp, err = http.Post(base+"/v1/sessions/e2e/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+
+	for i := 0; i < 50; i++ {
+		v, w := events[i%len(events)].V, events[(i*13)%len(events)].V
+		resp, err := http.Get(fmt.Sprintf("%s/v1/sessions/e2e/reach?from=%d&to=%d", base, v, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if want := r.Graph.Reaches(v, w); rr.Reachable != want {
+			t.Fatalf("reach(%d,%d) = %v, oracle %v", v, w, rr.Reachable, want)
+		}
+	}
+}
+
+func TestWfservePrecreatedSession(t *testing.T) {
+	base := startServer(t, "-session", "pre=BioAID")
+	resp, err := http.Get(base + "/v1/sessions/pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st wfreach.SessionStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "pre" || st.Class != "linear-recursive" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWfserveBadSessionFlag(t *testing.T) {
+	bin := buildOnce(t)
+	for _, args := range [][]string{
+		{"-session", "nonsense"},
+		{"-session", "x=NoSuchSpec"},
+	} {
+		if out, err := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...).CombinedOutput(); err == nil {
+			t.Fatalf("args %v should fail:\n%s", args, out)
+		}
+	}
+}

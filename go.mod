@@ -1,0 +1,3 @@
+module wfreach
+
+go 1.24

@@ -6,6 +6,22 @@
 // and queries take constant time (Theorem 3). Nonlinear recursive
 // grammars are supported through the Section 6 adaptation, at the cost
 // of linear-size labels in the worst case (Theorem 1).
+//
+// # Thread safety
+//
+// Labelers are single-writer: Insert, InsertNamed, Start and Apply mutate
+// the parse tree and must be called from one goroutine (or externally
+// serialized). Everything a labeler hands out is safe to share across
+// goroutines once returned: labels are immutable (Section 2.4 — a
+// vertex is labeled exactly once, at insertion, and the label never
+// changes), and the skeleton.Scheme plus the grammar are read-only
+// after construction, so Pi may be evaluated concurrently on
+// previously issued labels while new vertices are still being
+// inserted. Accessors that read labeler-internal maps (Label,
+// MustLabel, Reach, LabelCount) race with concurrent Insert calls and
+// need the same serialization; concurrent services should instead copy
+// each label into their own read-side store as Insert returns it —
+// that is the discipline internal/service implements.
 package core
 
 import (

@@ -27,6 +27,9 @@ import (
 // slot-parent chains of the predecessors' contexts; any other
 // insertion binds to the unique open instance that has its spec vertex
 // unmaterialized with matching predecessors.
+//
+// An ExecutionLabeler is not safe for concurrent use; see the package
+// comment for the single-writer contract and what may be shared.
 type ExecutionLabeler struct {
 	base
 	// namedChecked caches the NameResolvable validation for

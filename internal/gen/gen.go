@@ -149,6 +149,25 @@ func Generate(g *spec.Grammar, opts Options) (*run.Run, error) {
 	return r, nil
 }
 
+// GenerateEvents derives a random run and converts it into its
+// execution event stream — the input a streaming labeler or load
+// generator replays. The insertion order is a random topological order
+// drawn from the same seed, so equal options give equal streams. The
+// run is returned alongside the events as the ground-truth oracle
+// (run.Reaches) for verifying label answers.
+func GenerateEvents(g *spec.Grammar, opts Options) ([]run.Event, *run.Run, error) {
+	r, err := Generate(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5DEECE66D))
+	evs, err := r.Execution(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return evs, r, nil
+}
+
 // MustGenerate is Generate panicking on error (for tests and benches).
 func MustGenerate(g *spec.Grammar, opts Options) *run.Run {
 	r, err := Generate(g, opts)

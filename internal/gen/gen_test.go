@@ -169,3 +169,36 @@ func TestDepthFirstMakesDeepDerivations(t *testing.T) {
 			dDeep.Tree().Depth(), dFlat.Tree().Depth())
 	}
 }
+
+func TestGenerateEvents(t *testing.T) {
+	g := spec.MustCompile(wfspecs.BioAID())
+	evs, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != r.Size() {
+		t.Fatalf("%d events for a %d-vertex run", len(evs), r.Size())
+	}
+	// Equal options give equal streams.
+	evs2, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		if evs[i].V != evs2[i].V {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, evs[i].V, evs2[i].V)
+		}
+	}
+	// The stream is a valid execution: replaying it through the
+	// execution labeler succeeds and agrees with ground truth.
+	e, err := core.LabelExecution(g, evs, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		v, w := evs[i%len(evs)].V, evs[(i*17)%len(evs)].V
+		if got, want := e.Reach(v, w), r.Graph.Reaches(v, w); got != want {
+			t.Fatalf("reach(%d,%d)=%v, want %v", v, w, got, want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+func benchEvents(b *testing.B, size int) (*spec.Grammar, []run.Event) {
+	b.Helper()
+	s, _ := Builtin("BioAID")
+	g, err := spec.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: size, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, events
+}
+
+func ingestAll(b *testing.B, s *Session, events []run.Event, batch int) {
+	b.Helper()
+	for i := 0; i < len(events); i += batch {
+		end := min(i+batch, len(events))
+		if _, err := s.Append(events[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionIngest measures streaming-ingest throughput through
+// a session (labeling + encoding + store publication), reporting
+// events/sec — the service hot path future scaling PRs optimize.
+func BenchmarkSessionIngest(b *testing.B) {
+	g, events := benchEvents(b, 8192)
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry()
+		s, err := reg.Create("b", g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ingestAll(b, s, events, 256)
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSessionIngestConcurrentReaders is the same ingest with
+// query goroutines hammering the read side, measuring how much
+// concurrent readers cost the writer.
+func BenchmarkSessionIngestConcurrentReaders(b *testing.B) {
+	const readers = 4
+	g, events := benchEvents(b, 8192)
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	var queries atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry()
+		s, err := reg.Create("b", g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for ri := 0; ri < readers; ri++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					n := s.Vertices()
+					if n < 2 {
+						continue
+					}
+					v := events[rng.Int63n(n)].V
+					w := events[rng.Int63n(n)].V
+					if _, err := s.Reach(v, w); err == nil {
+						queries.Add(1)
+					}
+				}
+			}(int64(ri))
+		}
+		ingestAll(b, s, events, 256)
+		close(stop)
+		wg.Wait()
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(queries.Load())/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkSessionQuery measures read-side reachability throughput on
+// a fully ingested session, across parallel readers.
+func BenchmarkSessionQuery(b *testing.B) {
+	g, events := benchEvents(b, 8192)
+	reg := NewRegistry()
+	s, err := reg.Create("b", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ingestAll(b, s, events, 256)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(7))
+		for pb.Next() {
+			v := events[rng.Intn(len(events))].V
+			w := events[rng.Intn(len(events))].V
+			if _, err := s.Reach(v, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}

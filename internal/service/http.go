@@ -1,0 +1,387 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"wfreach/internal/core"
+	"wfreach/internal/graph"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfxml"
+)
+
+// The HTTP API, one resource per session:
+//
+//	POST   /v1/sessions                   create (JSON body, or raw spec XML)
+//	GET    /v1/sessions                   list sessions with stats
+//	GET    /v1/sessions/{name}            stats
+//	DELETE /v1/sessions/{name}            delete
+//	POST   /v1/sessions/{name}/events     ingest an event batch
+//	GET    /v1/sessions/{name}/reach      ?from=V&to=W
+//	GET    /v1/sessions/{name}/lineage    ?of=V
+//
+// Create accepts either a JSON body (CreateRequest: a built-in spec
+// name or an inline spec XML string) or a raw XML specification with
+// Content-Type application/xml and the session options in query
+// parameters (?name=...&skeleton=TCL&rmode=designated).
+
+// WireEvent is the JSON form of one execution event. Exactly one of
+// (Graph, Vertex) or Name identifies the executed specification
+// vertex: the ref form is run.Event, the name form core.NamedEvent.
+type WireEvent struct {
+	V      int32   `json:"v"`
+	Graph  *int32  `json:"graph,omitempty"`
+	Vertex *int32  `json:"vertex,omitempty"`
+	Name   string  `json:"name,omitempty"`
+	Preds  []int32 `json:"preds"`
+}
+
+// ToWire converts a run event to its wire form.
+func ToWire(ev run.Event) WireEvent {
+	g, v := int32(ev.Ref.Graph), int32(ev.Ref.V)
+	w := WireEvent{V: int32(ev.V), Graph: &g, Vertex: &v}
+	for _, p := range ev.Preds {
+		w.Preds = append(w.Preds, int32(p))
+	}
+	return w
+}
+
+// ToWireNamed converts a named event to its wire form.
+func ToWireNamed(ev core.NamedEvent) WireEvent {
+	w := WireEvent{V: int32(ev.V), Name: ev.Name}
+	for _, p := range ev.Preds {
+		w.Preds = append(w.Preds, int32(p))
+	}
+	return w
+}
+
+func (w WireEvent) preds() []graph.VertexID {
+	out := make([]graph.VertexID, len(w.Preds))
+	for i, p := range w.Preds {
+		out[i] = graph.VertexID(p)
+	}
+	return out
+}
+
+// CreateRequest is the JSON body of POST /v1/sessions.
+type CreateRequest struct {
+	Name string `json:"name"`
+	// Builtin names a built-in specification (BuiltinNames), SpecXML
+	// carries a full specification inline; exactly one must be set.
+	Builtin string `json:"builtin,omitempty"`
+	SpecXML string `json:"spec_xml,omitempty"`
+	// Skeleton is "TCL" (default) or "BFS"; RMode is "designated"
+	// (default) or "none".
+	Skeleton string `json:"skeleton,omitempty"`
+	RMode    string `json:"rmode,omitempty"`
+}
+
+// EventsRequest is the JSON body of POST /v1/sessions/{name}/events.
+type EventsRequest struct {
+	Events []WireEvent `json:"events"`
+}
+
+// EventsResponse reports how far a batch got.
+type EventsResponse struct {
+	Applied  int   `json:"applied"`
+	Vertices int64 `json:"vertices"`
+}
+
+// ReachResponse answers one reachability query.
+type ReachResponse struct {
+	From      int32 `json:"from"`
+	To        int32 `json:"to"`
+	Reachable bool  `json:"reachable"`
+}
+
+// LineageResponse lists the provenance closure of a vertex.
+type LineageResponse struct {
+	Of        int32   `json:"of"`
+	Ancestors []int32 `json:"ancestors"`
+}
+
+// ListResponse lists sessions.
+type ListResponse struct {
+	Sessions []Stats `json:"sessions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Applied is set on partial event batches.
+	Applied int `json:"applied,omitempty"`
+}
+
+// NewHandler returns the HTTP handler serving the registry.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleCreate(reg, w, r)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		resp := ListResponse{Sessions: []Stats{}}
+		for _, name := range reg.Names() {
+			if s, ok := reg.Get(name); ok {
+				resp.Sessions = append(resp.Sessions, s.Stats())
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if s := lookup(reg, w, r); s != nil {
+			writeJSON(w, http.StatusOK, s.Stats())
+		}
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !reg.Delete(r.PathValue("name")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("name")))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/sessions/{name}/events", func(w http.ResponseWriter, r *http.Request) {
+		if s := lookup(reg, w, r); s != nil {
+			handleEvents(s, w, r)
+		}
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}/reach", func(w http.ResponseWriter, r *http.Request) {
+		if s := lookup(reg, w, r); s != nil {
+			handleReach(s, w, r)
+		}
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}/lineage", func(w http.ResponseWriter, r *http.Request) {
+		if s := lookup(reg, w, r); s != nil {
+			handleLineage(s, w, r)
+		}
+	})
+	return mux
+}
+
+func lookup(reg *Registry, w http.ResponseWriter, r *http.Request) *Session {
+	s, ok := reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("name")))
+		return nil
+	}
+	return s
+}
+
+func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/xml") || strings.HasPrefix(ct, "text/xml") {
+		// Raw XML upload: the body is the specification, options travel
+		// in query parameters.
+		s, err := wfxml.DecodeSpec(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q := r.URL.Query()
+		createSession(reg, w, q.Get("name"), s, q.Get("skeleton"), q.Get("rmode"))
+		return
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	var sp *spec.Spec
+	switch {
+	case req.Builtin != "" && req.SpecXML != "":
+		writeError(w, http.StatusBadRequest, fmt.Errorf("builtin and spec_xml are mutually exclusive"))
+		return
+	case req.Builtin != "":
+		var ok bool
+		if sp, ok = Builtin(req.Builtin); !ok {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown builtin %q (have %s)", req.Builtin, strings.Join(BuiltinNames(), ", ")))
+			return
+		}
+	case req.SpecXML != "":
+		var err error
+		if sp, err = wfxml.DecodeSpec(strings.NewReader(req.SpecXML)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("one of builtin or spec_xml is required"))
+		return
+	}
+	createSession(reg, w, req.Name, sp, req.Skeleton, req.RMode)
+}
+
+func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.Spec, skelName, modeName string) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("session name is required"))
+		return
+	}
+	cfg, err := parseConfig(skelName, modeName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := spec.Compile(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := reg.Create(name, g, cfg)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Stats())
+}
+
+func parseConfig(skelName, modeName string) (Config, error) {
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	switch skelName {
+	case "", "TCL":
+	case "BFS":
+		cfg.Skeleton = skeleton.BFS
+	default:
+		return cfg, fmt.Errorf("unknown skeleton %q (want TCL or BFS)", skelName)
+	}
+	switch modeName {
+	case "", "designated", "designated-R":
+	case "none", "no-R":
+		cfg.Mode = core.RModeNone
+	default:
+		return cfg, fmt.Errorf("unknown rmode %q (want designated or none)", modeName)
+	}
+	return cfg, nil
+}
+
+func handleEvents(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req EventsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	// Events are split into maximal same-form sub-batches in order; each
+	// flush remembers the request index of its first event so errors
+	// name the position in the submitted batch, not the sub-batch.
+	applied := 0
+	flushRef := func(base int, evs []run.Event) error {
+		n, err := s.Append(evs)
+		applied += n
+		if err != nil {
+			return fmt.Errorf("event %d: %w", base+n, err)
+		}
+		return nil
+	}
+	flushNamed := func(base int, evs []core.NamedEvent) error {
+		n, err := s.AppendNamed(evs)
+		applied += n
+		if err != nil {
+			return fmt.Errorf("event %d: %w", base+n, err)
+		}
+		return nil
+	}
+	var refs []run.Event
+	var named []core.NamedEvent
+	refBase, namedBase := 0, 0
+	var err error
+	for i, ev := range req.Events {
+		switch {
+		case ev.Name != "" && (ev.Graph != nil || ev.Vertex != nil):
+			err = fmt.Errorf("event %d: name and graph/vertex are mutually exclusive", i)
+		case ev.Name != "":
+			if len(refs) > 0 {
+				err = flushRef(refBase, refs)
+				refs = nil
+			}
+			if len(named) == 0 {
+				namedBase = i
+			}
+			named = append(named, core.NamedEvent{V: graph.VertexID(ev.V), Name: ev.Name, Preds: ev.preds()})
+		case ev.Graph != nil && ev.Vertex != nil:
+			if len(named) > 0 {
+				err = flushNamed(namedBase, named)
+				named = nil
+			}
+			if len(refs) == 0 {
+				refBase = i
+			}
+			refs = append(refs, run.Event{
+				V:     graph.VertexID(ev.V),
+				Ref:   spec.VertexRef{Graph: spec.GraphID(*ev.Graph), V: graph.VertexID(*ev.Vertex)},
+				Preds: ev.preds(),
+			})
+		default:
+			err = fmt.Errorf("event %d: needs either name or graph+vertex", i)
+		}
+		if err != nil {
+			break
+		}
+	}
+	if err == nil && len(refs) > 0 {
+		err = flushRef(refBase, refs)
+	}
+	if err == nil && len(named) > 0 {
+		err = flushNamed(namedBase, named)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Applied: applied})
+		return
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Applied: applied, Vertices: s.Vertices()})
+}
+
+func handleReach(s *Session, w http.ResponseWriter, r *http.Request) {
+	from, err1 := parseVertex(r.URL.Query().Get("from"))
+	to, err2 := parseVertex(r.URL.Query().Get("to"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reach wants numeric from and to query params"))
+		return
+	}
+	ok, err := s.Reach(from, to)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReachResponse{From: int32(from), To: int32(to), Reachable: ok})
+}
+
+func handleLineage(s *Session, w http.ResponseWriter, r *http.Request) {
+	of, err := parseVertex(r.URL.Query().Get("of"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("lineage wants a numeric of query param"))
+		return
+	}
+	anc, err := s.Lineage(of)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := LineageResponse{Of: int32(of), Ancestors: []int32{}}
+	for _, v := range anc {
+		resp.Ancestors = append(resp.Ancestors, int32(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseVertex(s string) (graph.VertexID, error) {
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return graph.None, err
+	}
+	if n < 0 {
+		return graph.None, fmt.Errorf("negative vertex id %d", n)
+	}
+	return graph.VertexID(n), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,336 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfreach/internal/gen"
+	"wfreach/internal/wfspecs"
+	"wfreach/internal/wfxml"
+)
+
+func newTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(NewRegistry()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doJSON(t testing.TB, method, url string, body, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s %s: %v\n%s", method, url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	srv := newTestServer(t)
+
+	var st Stats
+	code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "s1", Builtin: "RunningExample"}, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	if st.Name != "s1" || st.Vertices != 0 || st.SkeletonBits == 0 {
+		t.Fatalf("create stats = %+v", st)
+	}
+
+	// Duplicate name conflicts; bad builtin and empty body are 400s.
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "s1", Builtin: "RunningExample"}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "s2", Builtin: "nope"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad builtin: %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "s2"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("specless create: %d", code)
+	}
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Builtin: "RunningExample"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("nameless create should be 400, got %d %s", code, raw)
+	}
+
+	// Inline spec XML in the JSON body.
+	var xml bytes.Buffer
+	if err := wfxml.EncodeSpec(&xml, wfspecs.RunningExample()); err != nil {
+		t.Fatal(err)
+	}
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "s2", SpecXML: xml.String(), Skeleton: "BFS"}, &st); code != http.StatusCreated {
+		t.Fatalf("inline spec create: %d %s", code, raw)
+	} else if st.Skeleton != "BFS" {
+		t.Fatalf("inline spec stats = %+v", st)
+	}
+
+	// Raw XML upload with query-parameter options.
+	resp, err := http.Post(srv.URL+"/v1/sessions?name=s3&rmode=none", "application/xml",
+		strings.NewReader(xml.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("xml upload: %d", resp.StatusCode)
+	}
+
+	var list ListResponse
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list.Sessions) != 3 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	if code, _ := doJSON(t, "DELETE", srv.URL+"/v1/sessions/s3", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := doJSON(t, "DELETE", srv.URL+"/v1/sessions/s3", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/s3", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("stats of deleted: %d", code)
+	}
+}
+
+func TestHTTPEventFormsAndErrors(t *testing.T) {
+	srv := newTestServer(t)
+	doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Name: "s", Builtin: "RunningExample"}, nil)
+
+	g := compileBuiltin(t, "RunningExample")
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed batch: ref-form and name-form events interleaved.
+	wire := make([]WireEvent, len(events))
+	for i, ev := range events {
+		if i%2 == 0 {
+			wire[i] = ToWire(ev)
+		} else {
+			wire[i] = ToWireNamed(toNamed(r, ev))
+		}
+	}
+	var er EventsResponse
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions/s/events",
+		EventsRequest{Events: wire}, &er); code != http.StatusOK {
+		t.Fatalf("events: %d %s", code, raw)
+	}
+	if er.Applied != len(events) || er.Vertices != int64(len(events)) {
+		t.Fatalf("events response = %+v", er)
+	}
+
+	// Replaying the stream is a 400 with applied=0 (duplicate vertex).
+	code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions/s/events",
+		EventsRequest{Events: wire[:1]}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("replay: %d %s", code, raw)
+	}
+
+	// Malformed events.
+	g0 := int32(0)
+	for _, bad := range [][]WireEvent{
+		{{V: 999}}, // neither form
+		{{V: 999, Name: "x", Graph: &g0, Vertex: &g0}}, // both forms
+	} {
+		if code, _ := doJSON(t, "POST", srv.URL+"/v1/sessions/s/events",
+			EventsRequest{Events: bad}, nil); code != http.StatusBadRequest {
+			t.Fatalf("bad event %+v: %d", bad, code)
+		}
+	}
+
+	// A failing event in a mixed batch is reported at its position in
+	// the submitted batch, not within a same-form sub-batch.
+	doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Name: "mix", Builtin: "RunningExample"}, nil)
+	mixed := []WireEvent{
+		ToWire(events[0]),
+		ToWireNamed(toNamed(r, events[1])),
+		ToWireNamed(toNamed(r, events[2])),
+		ToWireNamed(toNamed(r, events[2])), // duplicate: fails at batch index 3
+	}
+	code, raw = doJSON(t, "POST", srv.URL+"/v1/sessions/mix/events", EventsRequest{Events: mixed}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "event 3:") {
+		t.Fatalf("mixed-batch failure index: %d %s", code, raw)
+	}
+
+	// Reach and lineage answers match the oracle.
+	for i := 0; i < 200; i++ {
+		v, w := events[i%len(events)].V, events[(i*7)%len(events)].V
+		var rr ReachResponse
+		if code, raw := doJSON(t, "GET",
+			fmt.Sprintf("%s/v1/sessions/s/reach?from=%d&to=%d", srv.URL, v, w), nil, &rr); code != http.StatusOK {
+			t.Fatalf("reach: %d %s", code, raw)
+		}
+		if rr.Reachable != r.Graph.Reaches(v, w) {
+			t.Fatalf("reach(%d,%d) = %v, oracle %v", v, w, rr.Reachable, !rr.Reachable)
+		}
+	}
+	var lr LineageResponse
+	sink := events[len(events)-1].V
+	if code, raw := doJSON(t, "GET",
+		fmt.Sprintf("%s/v1/sessions/s/lineage?of=%d", srv.URL, sink), nil, &lr); code != http.StatusOK {
+		t.Fatalf("lineage: %d %s", code, raw)
+	}
+	if len(lr.Ancestors) == 0 {
+		t.Fatal("empty lineage for sink")
+	}
+
+	// Query-side errors: unlabeled vertex, junk params, unknown session.
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/s/reach?from=0&to=999999", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unlabeled reach: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/s/reach?from=a&to=1", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("junk reach: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/sessions/nope/reach?from=0&to=1", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: %d", code)
+	}
+}
+
+// TestHTTPStreamingE2E is the acceptance scenario: a ≥10k-vertex
+// generated execution streamed to the server in batches while reader
+// goroutines issue interleaved reachability queries over HTTP, every
+// answer checked against the BFS ground-truth oracle. Run with -race.
+func TestHTTPStreamingE2E(t *testing.T) {
+	const (
+		batch   = 256
+		readers = 4
+	)
+	srv := newTestServer(t)
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "big", Builtin: "BioAID"}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+
+	g := compileBuiltin(t, "BioAID")
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 11000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 10000 {
+		t.Fatalf("generated only %d events, want ≥10000", len(events))
+	}
+
+	watermark := new(atomic.Int64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // single writer streams batches
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < len(events); i += batch {
+			end := min(i+batch, len(events))
+			wire := make([]WireEvent, 0, end-i)
+			for _, ev := range events[i:end] {
+				wire = append(wire, ToWire(ev))
+			}
+			var er EventsResponse
+			if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions/big/events",
+				EventsRequest{Events: wire}, &er); code != http.StatusOK {
+				t.Errorf("batch at %d: %d %s", i, code, raw)
+				return
+			}
+			if er.Vertices != int64(end) {
+				t.Errorf("after batch at %d: vertices=%d want %d", i, er.Vertices, end)
+				return
+			}
+			watermark.Store(int64(end))
+		}
+	}()
+
+	queries := new(atomic.Int64)
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			writerDone := func() bool {
+				select {
+				case <-done:
+					return true
+				default:
+					return false
+				}
+			}
+			// Keep querying until the writer finishes, with a floor of 100
+			// verified queries per reader either way.
+			for q := 0; q < 100 || !writerDone(); q++ {
+				wm := watermark.Load()
+				if wm < 2 {
+					q--
+					continue
+				}
+				v := events[rng.Int63n(wm)].V
+				w := events[rng.Int63n(wm)].V
+				var rr ReachResponse
+				code, raw := doJSON(t, "GET",
+					fmt.Sprintf("%s/v1/sessions/big/reach?from=%d&to=%d", srv.URL, v, w), nil, &rr)
+				if code != http.StatusOK {
+					t.Errorf("reach(%d,%d): %d %s", v, w, code, raw)
+					return
+				}
+				if want := r.Graph.Reaches(v, w); rr.Reachable != want {
+					t.Errorf("reach(%d,%d) = %v, oracle %v", v, w, rr.Reachable, want)
+					return
+				}
+				queries.Add(1)
+			}
+		}(int64(ri))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var st Stats
+	doJSON(t, "GET", srv.URL+"/v1/sessions/big", nil, &st)
+	if st.Vertices != int64(len(events)) {
+		t.Fatalf("final vertices = %d, want %d", st.Vertices, len(events))
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no interleaved queries executed")
+	}
+	t.Logf("streamed %d vertices in %d-event batches, %d interleaved queries verified",
+		len(events), batch, queries.Load())
+}

@@ -1,0 +1,297 @@
+// Package service hosts long-lived, concurrent provenance-labeling
+// sessions: the piece a provenance-aware workflow system runs as a
+// daemon. Each session wraps a compiled grammar, an execution-based
+// labeler and an encoded label store, ingesting execution events as
+// they happen and answering "did A contribute to B?" the moment both
+// vertices exist — over partial, still-running executions, which is
+// the paper's whole point (labels are issued on the fly and never
+// change).
+//
+// # Concurrency discipline
+//
+// The labeler is single-writer (see internal/core): a session
+// serializes event ingestion under an ingest mutex. Every label the
+// labeler issues is immediately copied, encoded, into the session's
+// store under a short write lock; reads (reachability, lineage,
+// stats) take the corresponding read lock only to fetch the encoded
+// bytes and answer from those bytes outside the lock — labels are
+// immutable (Section 2.4), so a completed vertex's query never blocks
+// on ingest for longer than one map access. The registry itself is a
+// plain RWMutex-guarded name map; sessions are independent, so
+// ingestion into one session never contends with queries on another.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wfreach/internal/core"
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/store"
+	"wfreach/internal/wfspecs"
+)
+
+// Config selects the labeling scheme of a session.
+type Config struct {
+	// Skeleton is the specification-labeling scheme (TCL or BFS).
+	Skeleton skeleton.Kind
+	// Mode is the recursion-compression mode.
+	Mode core.RMode
+}
+
+// Stats is a point-in-time snapshot of one session.
+type Stats struct {
+	Name         string `json:"name"`
+	Class        string `json:"class"`
+	Skeleton     string `json:"skeleton"`
+	Mode         string `json:"mode"`
+	Vertices     int64  `json:"vertices"`
+	Batches      int64  `json:"batches"`
+	LabelBits    int    `json:"label_bits"`
+	SkeletonBits int    `json:"skeleton_bits"`
+}
+
+// Session is one live labeling session: a grammar, a streaming
+// labeler, and the encoded labels issued so far.
+type Session struct {
+	name string
+	g    *spec.Grammar
+	cfg  Config
+
+	// ingestMu enforces the single-writer discipline over the labeler.
+	ingestMu sync.Mutex
+	labeler  *core.ExecutionLabeler
+
+	// storeMu guards the store's vertex map. The encoded label bytes it
+	// holds are write-once, so readers only need the lock for the map
+	// lookup itself.
+	storeMu sync.RWMutex
+	store   *store.Store
+
+	vertices atomic.Int64 // labeled vertices, readable without locks
+	batches  atomic.Int64
+}
+
+// Registry is a concurrent name → session map.
+type Registry struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// NewRegistry returns an empty session registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[string]*Session)}
+}
+
+// Create opens a new session over the grammar. The name must be
+// non-empty and not in use.
+func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: empty session name")
+	}
+	s := &Session{
+		name:    name,
+		g:       g,
+		cfg:     cfg,
+		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
+		store:   store.New(g, cfg.Skeleton),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sessions[name]; dup {
+		return nil, fmt.Errorf("service: session %q already exists", name)
+	}
+	r.sessions[name] = s
+	return s, nil
+}
+
+// Get returns the named session.
+func (r *Registry) Get(name string) (*Session, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// Delete removes the named session, reporting whether it existed.
+// In-flight operations on the session finish normally; it simply stops
+// being reachable by name.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sessions[name]
+	delete(r.sessions, name)
+	return ok
+}
+
+// Names returns the open session names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sessions))
+	for n := range r.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of open sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// Name returns the session's registry name.
+func (s *Session) Name() string { return s.name }
+
+// Grammar returns the session's compiled grammar.
+func (s *Session) Grammar() *spec.Grammar { return s.g }
+
+// Append ingests a batch of execution events, in order. It returns the
+// number applied; on error the batch stops at the offending event —
+// its index is the returned count — and everything before it is
+// ingested and queryable (event streams are append-only, so a partial
+// prefix is still a valid partial execution).
+func (s *Session) Append(events []run.Event) (int, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	for i := range events {
+		l, err := s.labeler.Insert(events[i])
+		if err != nil {
+			return i, fmt.Errorf("service: %w", err)
+		}
+		s.publish(events[i].V, l)
+	}
+	s.batches.Add(1)
+	return len(events), nil
+}
+
+// AppendNamed ingests a batch of name-identified events (the Section
+// 5.3 naming-restriction setting), with Append's partial-batch
+// semantics.
+func (s *Session) AppendNamed(events []core.NamedEvent) (int, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	for i := range events {
+		l, err := s.labeler.InsertNamed(events[i])
+		if err != nil {
+			return i, fmt.Errorf("service: %w", err)
+		}
+		s.publish(events[i].V, l)
+	}
+	s.batches.Add(1)
+	return len(events), nil
+}
+
+// publish copies a freshly issued label to the read side. Called with
+// ingestMu held; encodes outside the store lock and takes the write
+// lock only for the map insert, so readers are never blocked behind
+// label encoding.
+func (s *Session) publish(v graph.VertexID, l label.Label) {
+	enc := s.store.Encode(l)
+	s.storeMu.Lock()
+	err := s.store.PutEncoded(v, enc)
+	s.storeMu.Unlock()
+	if err != nil {
+		// Unreachable: the labeler already rejects duplicate vertices.
+		panic(err)
+	}
+	s.vertices.Add(1)
+}
+
+// Reach answers v ;* w from the encoded labels alone. Both vertices
+// must already be labeled; querying a vertex the session has not seen
+// yet is an error (the caller cannot distinguish "not reachable" from
+// "not yet executed" — the paper's partial-run semantics make that the
+// caller's call to retry).
+func (s *Session) Reach(v, w graph.VertexID) (bool, error) {
+	s.storeMu.RLock()
+	bv, okv := s.store.GetRaw(v)
+	bw, okw := s.store.GetRaw(w)
+	s.storeMu.RUnlock()
+	if !okv {
+		return false, fmt.Errorf("service: vertex %d not labeled yet", v)
+	}
+	if !okw {
+		return false, fmt.Errorf("service: vertex %d not labeled yet", w)
+	}
+	// Decode and evaluate π outside the lock: the bytes are write-once.
+	return s.store.ReachBytes(bv, bw)
+}
+
+// Lineage returns the labeled vertices that reach v (its provenance
+// closure so far), ascending. The read lock is held only to snapshot
+// the encoded-label map; the O(labeled) decode-and-π scan runs
+// outside it, so a lineage query never stalls ingestion.
+func (s *Session) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
+	s.storeMu.RLock()
+	bv, ok := s.store.GetRaw(v)
+	snap := s.store.Snapshot()
+	s.storeMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: vertex %d not labeled yet", v)
+	}
+	var out []graph.VertexID
+	for w, bw := range snap {
+		reaches, err := s.store.ReachBytes(bw, bv)
+		if err != nil {
+			return nil, err
+		}
+		if reaches {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Vertices returns the number of labeled vertices, without locking.
+func (s *Session) Vertices() int64 { return s.vertices.Load() }
+
+// Stats snapshots the session.
+func (s *Session) Stats() Stats {
+	s.storeMu.RLock()
+	bits := s.store.Bits()
+	s.storeMu.RUnlock()
+	return Stats{
+		Name:         s.name,
+		Class:        s.g.Class().String(),
+		Skeleton:     s.cfg.Skeleton.String(),
+		Mode:         s.cfg.Mode.String(),
+		Vertices:     s.vertices.Load(),
+		Batches:      s.batches.Load(),
+		LabelBits:    bits,
+		SkeletonBits: s.labeler.Skeleton().Bits(),
+	}
+}
+
+// Builtin returns a built-in specification by name (the Section 7
+// workloads), or false for unknown names.
+func Builtin(name string) (*spec.Spec, bool) {
+	switch name {
+	case "RunningExample":
+		return wfspecs.RunningExample(), true
+	case "BioAID":
+		return wfspecs.BioAID(), true
+	case "BioAIDNonRecursive":
+		return wfspecs.BioAIDNonRecursive(), true
+	case "LowerBound":
+		return wfspecs.Fig6(), true
+	case "Path":
+		return wfspecs.Fig12(), true
+	}
+	return nil, false
+}
+
+// BuiltinNames lists the built-in specification names, sorted.
+func BuiltinNames() []string {
+	return []string{"BioAID", "BioAIDNonRecursive", "LowerBound", "Path", "RunningExample"}
+}

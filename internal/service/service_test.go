@@ -1,0 +1,300 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/graph"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wfspecs"
+)
+
+func compileBuiltin(t testing.TB, name string) *spec.Grammar {
+	t.Helper()
+	s, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("no builtin %q", name)
+	}
+	g, err := spec.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func toNamed(r *run.Run, ev run.Event) core.NamedEvent {
+	return core.NamedEvent{V: ev.V, Name: r.NameOf(ev.V), Preds: ev.Preds}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	g := compileBuiltin(t, "BioAID")
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+
+	if _, err := reg.Create("", g, cfg); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	s, err := reg.Create("a", g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("a", g, cfg); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := reg.Create("b", g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if got, ok := reg.Get("a"); !ok || got != s {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	if !reg.Delete("a") || reg.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len() = %d", reg.Len())
+	}
+}
+
+func TestSessionIngestAndQuery(t *testing.T) {
+	g := compileBuiltin(t, "BioAID")
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 600, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	s, err := reg.Create("run1", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Querying before any ingest is an error, not a false.
+	if _, err := s.Reach(events[0].V, events[1].V); err == nil {
+		t.Fatal("query on empty session succeeded")
+	}
+
+	n, err := s.Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(events) || s.Vertices() != int64(len(events)) {
+		t.Fatalf("applied %d of %d, vertices=%d", n, len(events), s.Vertices())
+	}
+
+	// Every pair agrees with ground truth on a sample.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		v := events[rng.Intn(len(events))].V
+		w := events[rng.Intn(len(events))].V
+		got, err := s.Reach(v, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Graph.Reaches(v, w); got != want {
+			t.Fatalf("Reach(%d,%d) = %v, oracle %v", v, w, got, want)
+		}
+	}
+
+	st := s.Stats()
+	if st.Vertices != int64(len(events)) || st.Batches != 1 || st.LabelBits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Class != "linear-recursive" || st.Skeleton != "TCL" {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Lineage of the sink contains the source.
+	last := events[len(events)-1].V
+	anc, err := s.Lineage(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range anc {
+		if v == events[0].V {
+			found = true
+		}
+		if !r.Graph.Reaches(v, last) {
+			t.Fatalf("lineage vertex %d does not reach %d", v, last)
+		}
+	}
+	if !found {
+		t.Fatal("source missing from sink lineage")
+	}
+}
+
+func TestSessionPartialBatch(t *testing.T) {
+	g := compileBuiltin(t, "BioAID")
+	events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	s, _ := reg.Create("p", g, Config{})
+
+	// Corrupt the stream mid-batch: an unknown predecessor.
+	bad := make([]run.Event, len(events))
+	copy(bad, events)
+	k := len(bad) / 2
+	bad[k].Preds = []graph.VertexID{9999}
+	n, err := s.Append(bad)
+	if err == nil {
+		t.Fatal("corrupt batch accepted")
+	}
+	if n != k {
+		t.Fatalf("applied %d, want %d", n, k)
+	}
+	// The valid prefix is ingested and queryable.
+	if s.Vertices() != int64(k) {
+		t.Fatalf("vertices = %d, want %d", s.Vertices(), k)
+	}
+	if _, err := s.Reach(events[0].V, events[k-1].V); err != nil {
+		t.Fatal(err)
+	}
+	// The rest of the original stream still applies cleanly.
+	if _, err := s.Append(events[k:]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Vertices() != int64(len(events)) {
+		t.Fatalf("vertices = %d, want %d", s.Vertices(), len(events))
+	}
+}
+
+func TestSessionNamedIngest(t *testing.T) {
+	// The running example satisfies the naming restrictions.
+	g := compileBuiltin(t, "RunningExample")
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := make([]core.NamedEvent, len(events))
+	for i, ev := range events {
+		named[i] = core.NamedEvent{V: ev.V, Name: r.NameOf(ev.V), Preds: ev.Preds}
+	}
+	reg := NewRegistry()
+	s, _ := reg.Create("n", g, Config{})
+	if _, err := s.AppendNamed(named); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		v := events[rng.Intn(len(events))].V
+		w := events[rng.Intn(len(events))].V
+		got, err := s.Reach(v, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Graph.Reaches(v, w); got != want {
+			t.Fatalf("Reach(%d,%d) = %v, oracle %v", v, w, got, want)
+		}
+	}
+}
+
+// TestConcurrentIngestQuery is the concurrency contract test: one
+// writer goroutine per session streams events in batches while many
+// readers issue reachability queries over the completed prefix,
+// asserting every answer matches the BFS ground-truth oracle. Because
+// events arrive in topological order, all ancestors of an inserted
+// vertex are already inserted, so prefix reachability equals
+// final-graph reachability. Run with -race.
+func TestConcurrentIngestQuery(t *testing.T) {
+	const (
+		sessions = 3
+		readers  = 4
+		batch    = 64
+	)
+	g := compileBuiltin(t, "BioAID")
+
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	queries := new(atomic.Int64)
+	for si := 0; si < sessions; si++ {
+		events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 2000, Seed: int64(100 + si)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := reg.Create(string(rune('a'+si)), g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		watermark := new(atomic.Int64) // events ingested so far
+		done := make(chan struct{})
+
+		wg.Add(1)
+		go func() { // single writer for this session
+			defer wg.Done()
+			defer close(done)
+			for i := 0; i < len(events); i += batch {
+				end := min(i+batch, len(events))
+				if _, err := s.Append(events[i:end]); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				watermark.Store(int64(end))
+			}
+		}()
+
+		for ri := 0; ri < readers; ri++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				// A fixed quota keeps readers querying after ingest
+				// completes (the full prefix is still a valid prefix), so
+				// the test verifies answers whether or not it wins the
+				// race against the writer.
+				for q := 0; q < 250; q++ {
+					wm := watermark.Load()
+					if wm < 2 {
+						q--
+						continue
+					}
+					v := events[rng.Int63n(wm)].V
+					w := events[rng.Int63n(wm)].V
+					got, err := s.Reach(v, w)
+					if err != nil {
+						t.Errorf("reach(%d,%d): %v", v, w, err)
+						return
+					}
+					if want := r.Graph.Reaches(v, w); got != want {
+						t.Errorf("reach(%d,%d) = %v, oracle %v", v, w, got, want)
+						return
+					}
+					queries.Add(1)
+				}
+			}(int64(si*readers + ri))
+		}
+	}
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no concurrent queries executed")
+	}
+	t.Logf("%d concurrent queries verified against the oracle", queries.Load())
+}
+
+func TestBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		s, ok := Builtin(name)
+		if !ok || s == nil {
+			t.Fatalf("builtin %q missing", name)
+		}
+		if _, err := spec.Compile(s); err != nil {
+			t.Fatalf("builtin %q does not compile: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Fatal("unknown builtin resolved")
+	}
+	// Builtins mirror wfspecs.
+	if Builtin2, _ := Builtin("BioAID"); Builtin2.String() != wfspecs.BioAID().String() {
+		t.Fatal("BioAID builtin diverges from wfspecs")
+	}
+}

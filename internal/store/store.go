@@ -39,10 +39,20 @@ func New(g *spec.Grammar, kind skeleton.Kind) *Store {
 // Put encodes and stores the label of v. Labels are immutable: a
 // second Put for the same vertex is rejected.
 func (s *Store) Put(v graph.VertexID, l label.Label) error {
+	return s.PutEncoded(v, s.codec.Encode(l))
+}
+
+// Encode encodes a label with the store's codec without storing it.
+// The codec is immutable, so Encode is safe to call concurrently —
+// writers use it to encode outside the lock that guards PutEncoded.
+func (s *Store) Encode(l label.Label) []byte { return s.codec.Encode(l) }
+
+// PutEncoded stores already-encoded label bytes for v, rejecting
+// duplicates. The store takes ownership of enc.
+func (s *Store) PutEncoded(v graph.VertexID, enc []byte) error {
 	if _, dup := s.data[v]; dup {
 		return fmt.Errorf("store: vertex %d already stored", v)
 	}
-	enc := s.codec.Encode(l)
 	s.data[v] = enc
 	s.bits += len(enc) * 8
 	return nil
@@ -59,6 +69,32 @@ func (s *Store) Get(v graph.VertexID) (label.Label, bool, error) {
 		return label.Label{}, true, fmt.Errorf("store: vertex %d: %w", v, err)
 	}
 	return l, true, nil
+}
+
+// GetRaw returns the stored encoded label bytes of v. The returned
+// slice is the store's own backing array — callers must treat it as
+// immutable (labels are write-once, so the bytes never change after
+// Put). This is the read path concurrent services build on: fetch the
+// two byte strings under a read lock, then decode and evaluate π
+// outside it with ReachBytes.
+func (s *Store) GetRaw(v graph.VertexID) ([]byte, bool) {
+	enc, ok := s.data[v]
+	return enc, ok
+}
+
+// ReachBytes answers v ;* w directly from two encoded labels, without
+// touching the vertex map. It is safe for concurrent use: the codec
+// and skeleton scheme are immutable after New.
+func (s *Store) ReachBytes(bv, bw []byte) (bool, error) {
+	lv, err := s.codec.Decode(bv)
+	if err != nil {
+		return false, fmt.Errorf("store: first label: %w", err)
+	}
+	lw, err := s.codec.Decode(bw)
+	if err != nil {
+		return false, fmt.Errorf("store: second label: %w", err)
+	}
+	return core.Pi(s.skel, lv, lw), nil
 }
 
 // Reach answers v ;* w from the stored bytes alone.
@@ -102,6 +138,18 @@ func (s *Store) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// Snapshot returns a shallow copy of the vertex → encoded-label map.
+// The byte slices are shared with the store (they are write-once);
+// only the map itself is copied, so a caller can take the snapshot
+// under a lock and decode at leisure outside it.
+func (s *Store) Snapshot() map[graph.VertexID][]byte {
+	out := make(map[graph.VertexID][]byte, len(s.data))
+	for v, enc := range s.data {
+		out[v] = enc
+	}
+	return out
 }
 
 // Count returns the number of stored labels.

@@ -122,3 +122,57 @@ func TestStats(t *testing.T) {
 		t.Fatalf("stored %.0f bits per vertex", perVertex)
 	}
 }
+
+func TestRawBytesQueryPath(t *testing.T) {
+	s, r := filled(t, 120, 4)
+	live := r.Graph.LiveVertices()
+	for _, v := range live {
+		bv, ok := s.GetRaw(v)
+		if !ok || len(bv) == 0 {
+			t.Fatalf("GetRaw(%d) = %v, %v", v, bv, ok)
+		}
+		for _, w := range live {
+			bw, _ := s.GetRaw(w)
+			got, err := s.ReachBytes(bv, bw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := r.Graph.Reaches(v, w); got != want {
+				t.Fatalf("ReachBytes(%d,%d)=%v, want %v", v, w, got, want)
+			}
+		}
+	}
+	if _, ok := s.GetRaw(99999); ok {
+		t.Fatal("GetRaw of unstored vertex succeeded")
+	}
+	if _, err := s.ReachBytes(nil, nil); err == nil {
+		t.Fatal("ReachBytes on empty bytes succeeded")
+	}
+}
+
+func TestPutEncodedMatchesPut(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 80, Seed: 5})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := store.New(g, skeleton.TCL)
+	b := store.New(g, skeleton.TCL)
+	for _, v := range r.Graph.LiveVertices() {
+		l := d.MustLabel(v)
+		if err := a.Put(v, l); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.PutEncoded(v, b.Encode(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Bits() != b.Bits() || a.Count() != b.Count() {
+		t.Fatalf("stores diverge: %d/%d bits, %d/%d labels", a.Bits(), b.Bits(), a.Count(), b.Count())
+	}
+	v := r.Graph.LiveVertices()[0]
+	if err := b.PutEncoded(v, []byte{1}); err == nil {
+		t.Fatal("duplicate PutEncoded accepted")
+	}
+}

@@ -35,6 +35,7 @@ package wfreach
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 
 	"wfreach/internal/core"
@@ -42,9 +43,11 @@ import (
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
 	"wfreach/internal/run"
+	"wfreach/internal/service"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/skl"
 	"wfreach/internal/spec"
+	"wfreach/internal/store"
 	"wfreach/internal/tcldyn"
 	"wfreach/internal/wfspecs"
 	"wfreach/internal/wfxml"
@@ -146,6 +149,47 @@ const (
 	ModuleFork   = spec.Fork
 )
 
+// Label persistence and the concurrent provenance service.
+type (
+	// Store is a write-once map from run vertices to encoded labels,
+	// answering reachability from the stored bytes alone.
+	Store = store.Store
+	// Registry is a concurrent registry of named labeling sessions.
+	Registry = service.Registry
+	// Session is one live labeling session: single-writer event ingest,
+	// concurrent label-based queries.
+	Session = service.Session
+	// SessionConfig selects a session's labeling scheme.
+	SessionConfig = service.Config
+	// SessionStats is a point-in-time snapshot of a session.
+	SessionStats = service.Stats
+	// WireEvent is the JSON form of one execution event on the service
+	// HTTP API.
+	WireEvent = service.WireEvent
+)
+
+// NewStore creates an empty label store for runs of the grammar.
+func NewStore(g *Grammar, kind SkeletonKind) *Store { return store.New(g, kind) }
+
+// NewRegistry returns an empty session registry.
+func NewRegistry() *Registry { return service.NewRegistry() }
+
+// NewServiceHandler returns the JSON/HTTP handler serving the registry
+// (the cmd/wfserve API; see internal/service for the endpoints).
+func NewServiceHandler(r *Registry) http.Handler { return service.NewHandler(r) }
+
+// GenerateEvents derives a random run and returns its execution event
+// stream together with the run as ground-truth oracle.
+func GenerateEvents(g *Grammar, opts GenOptions) ([]Event, *Run, error) {
+	return gen.GenerateEvents(g, opts)
+}
+
+// ToWire converts an execution event to its HTTP wire form.
+func ToWire(ev Event) WireEvent { return service.ToWire(ev) }
+
+// ToWireNamed converts a name-identified event to its HTTP wire form.
+func ToWireNamed(ev NamedEvent) WireEvent { return service.ToWireNamed(ev) }
+
 // NewSpec returns an empty specification builder.
 func NewSpec() *SpecBuilder { return spec.NewBuilder() }
 
@@ -230,6 +274,14 @@ func LowerBoundGrammar() *Spec { return wfspecs.Fig6() }
 // PathGrammar returns the Figure 12 grammar (nonlinear yet compactly
 // labelable, Example 15).
 func PathGrammar() *Spec { return wfspecs.Fig12() }
+
+// BuiltinSpec returns a built-in specification by name ("BioAID",
+// "BioAIDNonRecursive", "LowerBound", "Path", "RunningExample") — the
+// same names the service HTTP API accepts in a create request.
+func BuiltinSpec(name string) (*Spec, bool) { return service.Builtin(name) }
+
+// BuiltinSpecNames lists the built-in specification names, sorted.
+func BuiltinSpecNames() []string { return service.BuiltinNames() }
 
 // SyntheticParams configures the Figure 13 synthetic family.
 type SyntheticParams = wfspecs.SyntheticParams
