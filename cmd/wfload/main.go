@@ -7,12 +7,23 @@
 //
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 10000 -sessions 4 -batch 128 -readers 4
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify
+//	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
 //
 // Each session gets its own generated run (distinct seeds) and its own
 // writer goroutine streaming event batches; -readers query goroutines
 // per session issue reach queries over the already-acknowledged prefix
 // while ingestion is in flight. With -verify every query answer is
 // checked against BFS ground truth on the generated run.
+//
+// -resume is the crash/restart verification mode for a durable server
+// (wfserve -data). Run a normal wfload, kill the server mid-ingest,
+// restart it on the same data directory, then run wfload again with
+// the same flags plus -resume: instead of creating sessions it
+// regenerates the identical ground-truth runs (same seeds), reads how
+// many vertices each recovered session holds, and checks -queries
+// random reachability answers per session against BFS ground truth
+// over that recovered prefix. Any mismatch means recovery diverged
+// from the uninterrupted run and exits nonzero.
 package main
 
 import (
@@ -42,6 +53,8 @@ type config struct {
 	readers  int
 	verify   bool
 	prefix   string
+	resume   bool
+	queries  int
 }
 
 func main() {
@@ -55,6 +68,8 @@ func main() {
 	flag.IntVar(&cfg.readers, "readers", 2, "query goroutines per session")
 	flag.BoolVar(&cfg.verify, "verify", false, "check query answers against BFS ground truth")
 	flag.StringVar(&cfg.prefix, "prefix", "load", "session name prefix")
+	flag.BoolVar(&cfg.resume, "resume", false, "verify sessions recovered by a restarted durable server instead of ingesting")
+	flag.IntVar(&cfg.queries, "queries", 2000, "reach queries per session in -resume mode")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -131,6 +146,66 @@ type reachResponse struct {
 	Reachable bool `json:"reachable"`
 }
 
+type statsResponse struct {
+	Vertices int64 `json:"vertices"`
+	Durable  bool  `json:"durable"`
+}
+
+// sessionLoad is one session's generated ground truth: the event
+// stream the writer replays and the run that answers BFS oracle
+// queries over it.
+type sessionLoad struct {
+	name   string
+	events []wfreach.Event
+	run    *wfreach.Run
+}
+
+// runResume is the crash/restart verification mode: the sessions are
+// expected to exist already (restored by wfserve -data after a kill),
+// each holding some acknowledged prefix of the regenerated stream.
+// Recovery is correct iff every reachability answer over that prefix
+// matches BFS ground truth on the regenerated run.
+func runResume(cfg config, c *client, loads []sessionLoad, out io.Writer) error {
+	fmt.Fprintf(out, "wfload: resume verification of %d session(s) against regenerated ground truth\n", len(loads))
+	bad := 0
+	for i, l := range loads {
+		var st statsResponse
+		if err := c.do("GET", "/v1/sessions/"+l.name, nil, &st); err != nil {
+			return fmt.Errorf("session %s not recovered: %w", l.name, err)
+		}
+		n := int(st.Vertices)
+		if n > len(l.events) {
+			return fmt.Errorf("session %s: %d vertices recovered but only %d events were generated (seed mismatch?)",
+				l.name, n, len(l.events))
+		}
+		rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+		mismatches, checked := 0, 0
+		for q := 0; q < cfg.queries && n >= 1; q++ {
+			v := l.events[rng.Int63n(int64(n))].V
+			w := l.events[rng.Int63n(int64(n))].V
+			var rr reachResponse
+			if err := c.do("GET",
+				fmt.Sprintf("/v1/sessions/%s/reach?from=%d&to=%d", l.name, v, w), nil, &rr); err != nil {
+				return fmt.Errorf("session %s: reach(%d,%d): %w", l.name, v, w, err)
+			}
+			checked++
+			if rr.Reachable != l.run.Reaches(v, w) {
+				mismatches++
+				fmt.Fprintf(out, "  MISMATCH %s: reach(%d,%d)=%v, oracle says %v\n",
+					l.name, v, w, rr.Reachable, l.run.Reaches(v, w))
+			}
+		}
+		fmt.Fprintf(out, "  %s: %d/%d vertices recovered (durable=%v), %d queries, %d mismatches\n",
+			l.name, n, len(l.events), st.Durable, checked, mismatches)
+		bad += mismatches
+	}
+	if bad > 0 {
+		return fmt.Errorf("resume verification failed: %d mismatches", bad)
+	}
+	fmt.Fprintf(out, "resume verification passed\n")
+	return nil
+}
+
 func run(cfg config, out io.Writer) error {
 	spec, ok := wfreach.BuiltinSpec(cfg.spec)
 	if !ok {
@@ -143,12 +218,8 @@ func run(cfg config, out io.Writer) error {
 	c := &client{base: cfg.addr, http: &http.Client{Timeout: 30 * time.Second}}
 
 	// Generate all streams up front so generation cost stays out of the
-	// measured window.
-	type sessionLoad struct {
-		name   string
-		events []wfreach.Event
-		run    *wfreach.Run
-	}
+	// measured window (and so -resume can rebuild identical ground
+	// truth from the same seeds).
 	loads := make([]sessionLoad, cfg.sessions)
 	total := 0
 	for i := range loads {
@@ -160,6 +231,9 @@ func run(cfg config, out io.Writer) error {
 		}
 		loads[i] = sessionLoad{name: fmt.Sprintf("%s-%d", cfg.prefix, i), events: events, run: r}
 		total += len(events)
+	}
+	if cfg.resume {
+		return runResume(cfg, c, loads, out)
 	}
 	fmt.Fprintf(out, "wfload: %d sessions × ~%d vertices (%d events total), batch=%d, readers=%d/session\n",
 		cfg.sessions, cfg.size, total, cfg.batch, cfg.readers)

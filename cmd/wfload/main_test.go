@@ -78,3 +78,58 @@ func TestWfloadBinaryBuildsAndFailsCleanly(t *testing.T) {
 		t.Fatalf("no error message:\n%s", out)
 	}
 }
+
+// TestResumeVerifiesRestoredSessions plays the full crash drill
+// in-process: ingest into a durable registry, drop it cold, restore
+// the data directory into a fresh registry behind a new server, and
+// let -resume mode confirm the recovered sessions answer like the
+// uninterrupted run.
+func TestResumeVerifiesRestoredSessions(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: dir, SnapshotEvery: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wfreach.NewServiceHandler(reg))
+
+	cfg := config{
+		addr: srv.URL, spec: "RunningExample",
+		size: 500, seed: 5, sessions: 2, batch: 32, readers: 1,
+		verify: true, prefix: "r",
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	srv.Close() // no reg.Close(): the WAL was flushed per acked batch
+
+	reg2, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(wfreach.NewServiceHandler(reg2))
+	defer srv2.Close()
+
+	cfg.addr = srv2.URL
+	cfg.resume = true
+	cfg.queries = 500
+	out.Reset()
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("resume verification failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "resume verification passed") || strings.Contains(s, "MISMATCH") {
+		t.Fatalf("unexpected resume report:\n%s", s)
+	}
+
+	// The same check must fail loudly if the server knows nothing.
+	empty := httptest.NewServer(wfreach.NewServiceHandler(wfreach.NewRegistry()))
+	defer empty.Close()
+	cfg.addr = empty.URL
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("resume against an empty server should fail")
+	}
+}

@@ -7,6 +7,17 @@
 //
 //	wfserve -addr :8080
 //	wfserve -addr 127.0.0.1:0 -session demo=BioAID
+//	wfserve -addr :8080 -data /var/lib/wfserve
+//
+// With -data the service is durable: every session persists its
+// specification, an append-only write-ahead log of ingested events,
+// and periodic label snapshots under the given directory (the on-disk
+// format is specified in ARCHITECTURE.md). On startup all sessions
+// found there are restored — a server killed mid-ingest comes back
+// answering exactly what it had acknowledged — and ingestion resumes
+// where the log ends. -fsync (default true) makes acknowledged batches
+// survive machine crashes, not just process crashes; -snapshot-every
+// tunes how many events may need label re-encoding at recovery.
 //
 // The JSON API (see internal/service):
 //
@@ -42,6 +53,9 @@ func (s *sessionFlags) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	dataDir := flag.String("data", "", "data directory: persist sessions (WAL + snapshots) and restore them on boot")
+	fsync := flag.Bool("fsync", true, "with -data: fsync the WAL before acknowledging a batch")
+	snapEvery := flag.Int("snapshot-every", 0, "with -data: events between label snapshots (0 = default, <0 disables)")
 	var sessions sessionFlags
 	flag.Var(&sessions, "session", "pre-create a session \"name=Builtin\" (repeatable)")
 	flag.Parse()
@@ -52,10 +66,35 @@ func main() {
 	}
 
 	reg := wfreach.NewRegistry()
+	if *dataDir != "" {
+		var err error
+		reg, err = wfreach.NewDurableRegistry(wfreach.DurableOptions{
+			Dir: *dataDir, SnapshotEvery: *snapEvery, Fsync: *fsync,
+		})
+		if err != nil {
+			fail(err)
+		}
+		restored, err := reg.Restore(*dataDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wfserve: durable under %s, restored %d session(s)\n", *dataDir, len(restored))
+		for _, name := range restored {
+			if s, ok := reg.Get(name); ok {
+				fmt.Printf("wfserve: restored %q: %d vertices\n", name, s.Vertices())
+			}
+		}
+	}
 	for _, sf := range sessions {
 		name, builtin, ok := strings.Cut(sf, "=")
 		if !ok {
 			fail(fmt.Errorf("-session %q is not \"name=Builtin\"", sf))
+		}
+		if _, exists := reg.Get(name); exists {
+			// The restored session wins; its spec may differ from the
+			// flag's builtin, so say so instead of silently skipping.
+			fmt.Printf("wfserve: session %q already restored from -data; ignoring -session %s\n", name, sf)
+			continue
 		}
 		if err := createBuiltin(reg, name, builtin); err != nil {
 			fail(err)

@@ -1,0 +1,507 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wfreach/internal/core"
+	"wfreach/internal/graph"
+	"wfreach/internal/label"
+	"wfreach/internal/spec"
+	"wfreach/internal/store"
+	"wfreach/internal/wal"
+	"wfreach/internal/wfxml"
+)
+
+// Per-session data files under <DurableOptions.Dir>/<session name>/.
+// Their byte-level layouts are specified in ARCHITECTURE.md.
+const (
+	metaFile = "session.json" // sessionMeta: labeling configuration
+	specFile = "spec.xml"     // the workflow specification, as wfxml
+	walFile  = "events.wal"   // append-only event log (internal/wal)
+	snapFile = "labels.snap"  // latest label snapshot (internal/wal)
+)
+
+// metaFormat is the session.json format version this build writes.
+const metaFormat = 1
+
+// DefaultSnapshotEvery is the snapshot cadence used when
+// DurableOptions.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 4096
+
+// ErrDurability marks server-side persistence failures (a WAL that
+// cannot be written, flushed or reopened). It lets callers — the HTTP
+// layer in particular — distinguish "your events are invalid" from
+// "the server cannot keep its durability promise".
+var ErrDurability = errors.New("durability failure")
+
+// DurableOptions configures the persistence layer of a registry.
+type DurableOptions struct {
+	// Dir is the root data directory. Each session owns the
+	// subdirectory Dir/<name> holding its specification, metadata,
+	// event WAL and label snapshot.
+	Dir string
+	// SnapshotEvery is the number of ingested events between label-map
+	// snapshots. Zero selects DefaultSnapshotEvery; negative disables
+	// snapshotting (recovery then replays the full WAL).
+	SnapshotEvery int
+	// Fsync forces the WAL to stable storage before a batch is
+	// acknowledged. With it off, an acknowledged batch survives a
+	// process crash (the OS holds the written bytes) but may be lost to
+	// a whole-machine crash.
+	Fsync bool
+}
+
+// sessionMeta is the JSON body of a session's metadata file, written
+// once at creation.
+type sessionMeta struct {
+	Format   int    `json:"format"`
+	Name     string `json:"name"`
+	Skeleton string `json:"skeleton"`
+	RMode    string `json:"rmode"`
+}
+
+// NewDurableRegistry returns a registry whose sessions persist to
+// opts.Dir: every Create writes the session's specification and
+// metadata and opens its write-ahead log, every acknowledged event
+// batch is logged before it becomes queryable, and Restore rebuilds
+// the sessions after a restart. The directory is created if absent.
+func NewDurableRegistry(opts DurableOptions) (*Registry, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("service: durable registry needs a data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	r := NewRegistry()
+	r.durable = &opts
+	return r, nil
+}
+
+// validateSessionName rejects names that cannot double as directory
+// names. Durable sessions live at Dir/<name>, so the name must be a
+// single clean path element of filesystem-friendly length with no
+// control characters.
+func validateSessionName(name string) error {
+	if name == "" || name == "." || name == ".." || len(name) > 255 ||
+		strings.ContainsAny(name, "/\\") || name != filepath.Clean(name) {
+		return fmt.Errorf("service: session name %q is not usable as a directory name", name)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f {
+			return fmt.Errorf("service: session name %q contains control characters", name)
+		}
+	}
+	return nil
+}
+
+// writeFileSync creates path, streams content through write, and
+// fsyncs before closing — metadata files must not be left half-written
+// by a machine crash (a session with torn metadata aborts Restore).
+func writeFileSync(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, committing the entries created in it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if closeErr := d.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// initDurable attaches persistence to a freshly created session:
+// creates its directory, writes spec.xml and session.json (fsynced,
+// along with the directories, so a machine crash cannot leave torn
+// metadata behind a successful Create), and opens an empty WAL. Called
+// with the session's name reserved in the registry but no lock held.
+func (s *Session) initDurable(opts *DurableOptions) error {
+	dir := filepath.Join(opts.Dir, s.name)
+	if _, err := os.Stat(dir); err == nil {
+		return fmt.Errorf("service: session data already exists at %s (restore or remove it)", dir)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w: %v", ErrDurability, err)
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+
+	err := writeFileSync(filepath.Join(dir, specFile), func(f *os.File) error {
+		return wfxml.EncodeSpec(f, s.g.Spec())
+	})
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("service: persist spec: %w: %v", ErrDurability, err)
+	}
+
+	meta, err := json.MarshalIndent(sessionMeta{
+		Format:   metaFormat,
+		Name:     s.name,
+		Skeleton: s.cfg.Skeleton.String(),
+		RMode:    s.cfg.Mode.String(),
+	}, "", "  ")
+	if err == nil {
+		err = writeFileSync(filepath.Join(dir, metaFile), func(f *os.File) error {
+			_, werr := f.Write(append(meta, '\n'))
+			return werr
+		})
+	}
+	if err == nil {
+		err = syncDir(dir)
+	}
+	if err == nil {
+		err = syncDir(opts.Dir)
+	}
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("service: persist metadata: %w: %v", ErrDurability, err)
+	}
+
+	log, err := wal.Open(filepath.Join(dir, walFile), 0, opts.Fsync)
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("service: %w: %v", ErrDurability, err)
+	}
+	s.attachWAL(dir, log, opts)
+	return nil
+}
+
+// attachWAL flips the session into durable mode.
+func (s *Session) attachWAL(dir string, log *wal.Log, opts *DurableOptions) {
+	s.durable = true
+	s.dir = dir
+	s.wal = log
+	s.snapEvery = int64(opts.SnapshotEvery)
+}
+
+// logRecord appends one successfully labeled event to the WAL. A write
+// failure poisons the session: the labeler has already advanced past
+// the log, so accepting more events would make the on-disk state
+// unrecoverable. Called with ingestMu held.
+func (s *Session) logRecord(rec wal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.ioErr = fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
+		return s.ioErr
+	}
+	s.walEvents++
+	return nil
+}
+
+// finishBatch makes the batch's logged events durable and takes a
+// label snapshot when one is due. Called with ingestMu held, on both
+// the success and the partial-batch path (the applied prefix is
+// acknowledged either way).
+func (s *Session) finishBatch() error {
+	if s.wal == nil || s.ioErr != nil {
+		return s.ioErr
+	}
+	if err := s.wal.Flush(); err != nil {
+		s.ioErr = fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
+		return s.ioErr
+	}
+	s.maybeSnapshot()
+	return nil
+}
+
+// maybeSnapshot starts a label snapshot if enough events accumulated
+// since the last one and none is in flight. The consistent view —
+// label map plus event watermark — is captured synchronously under
+// ingestMu (labels are write-once, so the map copy is all it takes);
+// the file write and fsync, which grow with session size, run in a
+// goroutine off the ingest path. Failures are not fatal — the WAL
+// alone is always sufficient for recovery — and are retried at a later
+// batch because the watermark does not advance.
+func (s *Session) maybeSnapshot() {
+	if s.snapEvery <= 0 || s.walEvents-s.snapEvents < s.snapEvery || s.snapBusy {
+		return
+	}
+	s.snapBusy = true
+	events := s.walEvents
+	s.storeMu.RLock()
+	labels := s.store.Snapshot()
+	s.storeMu.RUnlock()
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		err := wal.WriteSnapshot(filepath.Join(s.dir, snapFile), wal.Snapshot{Events: events, Labels: labels})
+		s.ingestMu.Lock()
+		s.snapBusy = false
+		if err == nil && events > s.snapEvents {
+			s.snapEvents = events
+		}
+		s.ingestMu.Unlock()
+	}()
+}
+
+// closeWAL detaches and closes the session's log and waits for any
+// in-flight snapshot write to settle. Further ingestion fails; queries
+// keep working from the in-memory store.
+func (s *Session) closeWAL() error {
+	s.ingestMu.Lock()
+	if s.wal == nil {
+		s.ingestMu.Unlock()
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	if s.ioErr == nil {
+		s.ioErr = fmt.Errorf("service: session %q: %w: log closed", s.name, ErrDurability)
+	}
+	s.ingestMu.Unlock()
+	// Outside ingestMu: the snapshot goroutine needs it to finish, and
+	// with the log gone no new snapshot can start.
+	s.snapWG.Wait()
+	return err
+}
+
+// Close flushes and closes every durable session's WAL. Durable
+// sessions stop accepting events (their logs are gone) but remain
+// queryable; a memory-only registry is unaffected. Use it for graceful
+// shutdown or before handing the data directory to another process.
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, s := range sessions {
+		if err := s.closeWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// errReplayHalt marks a WAL record the labeler rejected during
+// restore. It is handled like tail corruption: the valid prefix is
+// kept and the log is truncated before the offending record.
+var errReplayHalt = errors.New("service: replay halted")
+
+// Restore scans dir for session directories and rebuilds each session
+// from its persisted specification, label snapshot and WAL: the full
+// event log is replayed through a fresh labeler (labeling is
+// deterministic, so replay reissues the exact same labels) while the
+// snapshot supplies the already-encoded label bytes for the prefix it
+// covers — those bytes go straight back into the store, never
+// re-encoded. A torn or corrupt WAL tail is detected by CRC and
+// dropped; a missing or corrupt snapshot falls back to full-replay
+// encoding; a snapshot that claims more events than the log holds
+// (possible only after an OS crash with Fsync off) is discarded.
+//
+// On a durable registry the restored sessions reopen their WALs —
+// truncating any corrupt tail — and continue accepting events exactly
+// where the log ends. On a memory-only registry the sessions are
+// rebuilt read-write but nothing further is persisted and no file is
+// modified, which is useful for inspecting a copied data directory.
+//
+// Restore returns the restored session names, sorted. A missing dir
+// restores nothing. Corrupt session metadata (unreadable session.json
+// or spec.xml) aborts with an error naming the session; already-open
+// names collide like Create.
+//
+// dir is usually the registry's own DurableOptions.Dir, but any data
+// directory is accepted: sessions restored from elsewhere keep
+// persisting under *that* directory, while new Creates go to
+// DurableOptions.Dir — deliberately, so a copied data directory can
+// be inspected or adopted, but a typo here silently splits the data
+// across two roots.
+func (r *Registry) Restore(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var restored []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sdir := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(sdir, metaFile)); errors.Is(err, fs.ErrNotExist) {
+			continue // not a session directory
+		}
+		// Reserve the name before touching any file: restoring a name
+		// that is already live — or mid-restore in a concurrent call —
+		// would truncate that session's WAL out from under it when the
+		// log is reopened below.
+		r.mu.Lock()
+		_, dup := r.sessions[e.Name()]
+		dup = dup || r.creating[e.Name()]
+		if !dup {
+			r.creating[e.Name()] = true
+		}
+		r.mu.Unlock()
+		if dup {
+			return restored, fmt.Errorf("service: restore %s: session already open", e.Name())
+		}
+		s, err := r.restoreSession(sdir, e.Name())
+		r.mu.Lock()
+		delete(r.creating, e.Name())
+		if err == nil {
+			r.sessions[s.name] = s
+		}
+		r.mu.Unlock()
+		if err != nil {
+			return restored, fmt.Errorf("service: restore %s: %w", e.Name(), err)
+		}
+		restored = append(restored, s.name)
+	}
+	sort.Strings(restored)
+	return restored, nil
+}
+
+// restoreSession rebuilds one session from its directory.
+func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
+	raw, err := os.ReadFile(filepath.Join(sdir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	var meta sessionMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("bad %s: %w", metaFile, err)
+	}
+	if meta.Format != metaFormat {
+		return nil, fmt.Errorf("bad %s: format %d not supported", metaFile, meta.Format)
+	}
+	if meta.Name != dirName {
+		return nil, fmt.Errorf("bad %s: names session %q", metaFile, meta.Name)
+	}
+	cfg, err := parseConfig(meta.Skeleton, meta.RMode)
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %w", metaFile, err)
+	}
+
+	sf, err := os.Open(filepath.Join(sdir, specFile))
+	if err != nil {
+		return nil, err
+	}
+	sp, err := wfxml.DecodeSpec(sf)
+	sf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %w", specFile, err)
+	}
+	g, err := spec.Compile(sp)
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %w", specFile, err)
+	}
+
+	s := &Session{
+		name:    meta.Name,
+		g:       g,
+		cfg:     cfg,
+		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
+		store:   store.New(g, cfg.Skeleton),
+	}
+
+	walPath := filepath.Join(sdir, walFile)
+	// First pass: count replayable records, so a snapshot from beyond
+	// the durable log (OS crash with Fsync off) can be rejected before
+	// it pollutes the store.
+	total, _, err := wal.Scan(walPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := wal.ReadSnapshot(filepath.Join(sdir, snapFile))
+	switch {
+	case err == nil && snap.Events <= int64(total):
+		// usable: labels for the first snap.Events records come from here
+	case err == nil, errors.Is(err, fs.ErrNotExist), errors.Is(err, wal.ErrCorrupt):
+		snap = wal.Snapshot{} // absent, damaged or ahead of the log: full replay
+	default:
+		return nil, err
+	}
+
+	// Second pass: replay. Every record rebuilds labeler state; the
+	// label bytes come from the snapshot where it applies and from
+	// re-encoding beyond it.
+	replayed, validSize, err := wal.Scan(walPath, func(i int, rec wal.Record) error {
+		var (
+			v graph.VertexID
+			l label.Label
+		)
+		var ierr error
+		if rec.Named {
+			v = rec.NamedEv.V
+			l, ierr = s.labeler.InsertNamed(rec.NamedEv)
+		} else {
+			v = rec.Ref.V
+			l, ierr = s.labeler.Insert(rec.Ref)
+		}
+		if ierr != nil {
+			return fmt.Errorf("%w at record %d: %v", errReplayHalt, i, ierr)
+		}
+		if enc, ok := snap.Labels[v]; ok && int64(i) < snap.Events {
+			// ReadSnapshot allocated enc for us alone: hand it over
+			// without another copy.
+			s.storeMu.Lock()
+			perr := s.store.PutEncodedOwned(v, enc)
+			s.storeMu.Unlock()
+			if perr != nil {
+				return perr
+			}
+			s.vertices.Add(1)
+			return nil
+		}
+		s.publish(v, l)
+		return nil
+	})
+	if errors.Is(err, errReplayHalt) {
+		err = nil // keep the valid prefix, truncate the rest below
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.walEvents = int64(replayed)
+	if snap.Events <= s.walEvents {
+		s.snapEvents = snap.Events
+	}
+
+	if r.durable != nil {
+		// Sweep snapshot temp files orphaned by a crash mid-snapshot;
+		// they are never valid (the rename is what commits a snapshot).
+		if tmps, _ := filepath.Glob(filepath.Join(sdir, snapFile+".tmp*")); len(tmps) > 0 {
+			for _, tmp := range tmps {
+				os.Remove(tmp)
+			}
+		}
+		log, err := wal.Open(walPath, validSize, r.durable.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		s.attachWAL(sdir, log, r.durable)
+	}
+	return s, nil
+}

@@ -1,0 +1,477 @@
+package service
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/run"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+)
+
+func durableReg(t *testing.T, dir string, opts DurableOptions) *Registry {
+	t.Helper()
+	opts.Dir = dir
+	reg, err := NewDurableRegistry(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func genEvents(t *testing.T, g *spec.Grammar, size int, seed int64) ([]run.Event, *run.Run) {
+	t.Helper()
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, r
+}
+
+func appendAll(t *testing.T, s *Session, events []run.Event, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(events); lo += batch {
+		hi := min(lo+batch, len(events))
+		if n, err := s.Append(events[lo:hi]); err != nil {
+			t.Fatalf("append [%d,%d): applied %d: %v", lo, hi, n, err)
+		}
+	}
+}
+
+// checkOracle verifies every pair over the first n events of the
+// stream against BFS ground truth on the fully generated run (labels
+// never change, so the partial answers must equal the final ones).
+func checkOracle(t *testing.T, s *Session, events []run.Event, r *run.Run, n int) {
+	t.Helper()
+	if got := s.Vertices(); got != int64(n) {
+		t.Fatalf("session has %d vertices, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v, w := events[i].V, events[j].V
+			got, err := s.Reach(v, w)
+			if err != nil {
+				t.Fatalf("reach(%d,%d): %v", v, w, err)
+			}
+			if want := r.Reaches(v, w); got != want {
+				t.Fatalf("reach(%d,%d)=%v, want %v", v, w, got, want)
+			}
+		}
+	}
+}
+
+// TestDurableRestoreMatchesOracle ingests a run into a durable
+// session, drops the registry without a clean shutdown (the crash
+// case: the WAL is flushed per batch, nothing else is saved), restores
+// into a fresh registry and checks every reachability answer against
+// the BFS oracle. It then continues ingesting the rest of the stream
+// on the restored session and checks again — recovery must leave the
+// labeler in a state indistinguishable from an uninterrupted run.
+func TestDurableRestoreMatchesOracle(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "BioAID")
+	events, r := genEvents(t, g, 300, 7)
+	cut := len(events) / 2
+
+	reg := durableReg(t, dir, DurableOptions{SnapshotEvery: 64})
+	s, err := reg.Create("crashy", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events[:cut], 37)
+	// No reg.Close(): simulate the process dying after the last ack.
+
+	reg2 := durableReg(t, dir, DurableOptions{SnapshotEvery: 64})
+	restored, err := reg2.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0] != "crashy" {
+		t.Fatalf("restored %v", restored)
+	}
+	s2, ok := reg2.Get("crashy")
+	if !ok {
+		t.Fatal("restored session not registered")
+	}
+	if !s2.Stats().Durable {
+		t.Fatal("restored session not durable")
+	}
+	checkOracle(t, s2, events, r, cut)
+
+	// The restored session keeps ingesting where the log ended.
+	appendAll(t, s2, events[cut:], 37)
+	checkOracle(t, s2, events, r, len(events))
+	if err := reg2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And a third process can restore the completed run.
+	reg3 := durableReg(t, dir, DurableOptions{})
+	if _, err := reg3.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := reg3.Get("crashy")
+	checkOracle(t, s3, events, r, len(events))
+}
+
+// TestDurableNamedEvents round-trips the name-identified event form
+// through the WAL.
+func TestDurableNamedEvents(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "BioAID")
+	events, r := genEvents(t, g, 150, 3)
+
+	reg := durableReg(t, dir, DurableOptions{})
+	s, err := reg.Create("named", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := make([]core.NamedEvent, len(events))
+	for i, ev := range events {
+		named[i] = toNamed(r, ev)
+	}
+	for lo := 0; lo < len(named); lo += 16 {
+		hi := min(lo+16, len(named))
+		if _, err := s.AppendNamed(named[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Close()
+
+	reg2 := durableReg(t, dir, DurableOptions{})
+	if _, err := reg2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := reg2.Get("named")
+	checkOracle(t, s2, events, r, len(events))
+}
+
+// storeBytes snapshots a session's encoded labels for comparison.
+func storeBytes(s *Session) map[int32][]byte {
+	s.storeMu.RLock()
+	defer s.storeMu.RUnlock()
+	out := make(map[int32][]byte)
+	for v, enc := range s.store.Snapshot() {
+		out[int32(v)] = enc
+	}
+	return out
+}
+
+// TestSnapshotTailEqualsFullReplay restores the same data directory
+// twice — once with the snapshot present (snapshot + WAL tail) and
+// once with it deleted (full WAL replay) — and requires byte-identical
+// stores: the snapshot path must never change what recovery produces,
+// and the persisted bytes must equal what re-encoding produces.
+func TestSnapshotTailEqualsFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	events, _ := genEvents(t, g, 400, 11)
+
+	reg := durableReg(t, dir, DurableOptions{SnapshotEvery: 100})
+	s, err := reg.Create("snap", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 64)
+	reg.Close()
+	if _, err := os.Stat(filepath.Join(dir, "snap", snapFile)); err != nil {
+		t.Fatalf("no snapshot was written: %v", err)
+	}
+
+	withSnap := durableReg(t, t.TempDir(), DurableOptions{})
+	if _, err := withSnap.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := withSnap.Get("snap")
+
+	if err := os.Remove(filepath.Join(dir, "snap", snapFile)); err != nil {
+		t.Fatal(err)
+	}
+	fullReplay := durableReg(t, t.TempDir(), DurableOptions{})
+	if _, err := fullReplay.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := fullReplay.Get("snap")
+
+	ba, bb := storeBytes(a), storeBytes(b)
+	if len(ba) != len(bb) || len(ba) != len(events) {
+		t.Fatalf("store sizes differ: snapshot=%d full=%d events=%d", len(ba), len(bb), len(events))
+	}
+	for v, enc := range ba {
+		if !bytes.Equal(enc, bb[v]) {
+			t.Fatalf("vertex %d: snapshot bytes %v != replay bytes %v", v, enc, bb[v])
+		}
+	}
+}
+
+// TestCorruptWALTailRecoversPrefix damages the log tail in several
+// ways and checks recovery cleanly keeps the intact prefix, answers
+// its queries correctly, and accepts new events afterwards.
+func TestCorruptWALTailRecoversPrefix(t *testing.T) {
+	g := compileBuiltin(t, "RunningExample")
+	events, r := genEvents(t, g, 200, 5)
+
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		reg := durableReg(t, dir, DurableOptions{SnapshotEvery: -1})
+		s, err := reg.Create("x", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, s, events, 50)
+		reg.Close()
+		return dir
+	}
+
+	damage := map[string]func(t *testing.T, path string){
+		"torn tail": func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			os.WriteFile(path, raw[:len(raw)-7], 0o644)
+		},
+		"flipped bit": func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			raw[len(raw)-20] ^= 0x40
+			os.WriteFile(path, raw, 0o644)
+		},
+	}
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := build(t)
+			hurt(t, filepath.Join(dir, "x", walFile))
+
+			reg := durableReg(t, dir, DurableOptions{SnapshotEvery: -1})
+			if _, err := reg.Restore(dir); err != nil {
+				t.Fatal(err)
+			}
+			s, _ := reg.Get("x")
+			n := int(s.Vertices())
+			if n <= 0 || n >= len(events) {
+				t.Fatalf("recovered %d events, want a proper nonempty prefix of %d", n, len(events))
+			}
+			checkOracle(t, s, events, r, n)
+
+			// The truncated log accepts the rest of the stream again.
+			appendAll(t, s, events[n:], 50)
+			checkOracle(t, s, events, r, len(events))
+			reg.Close()
+		})
+	}
+}
+
+// TestSnapshotAheadOfLogIsDiscarded models an OS crash with Fsync off:
+// the snapshot survived but logged events did not. The snapshot claims
+// more events than the WAL holds and must be ignored.
+func TestSnapshotAheadOfLogIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	events, r := genEvents(t, g, 300, 13)
+
+	reg := durableReg(t, dir, DurableOptions{SnapshotEvery: 50})
+	s, err := reg.Create("x", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 50)
+	reg.Close()
+
+	// Rewind the WAL to before the last snapshot watermark.
+	walPath := filepath.Join(dir, "x", walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := durableReg(t, dir, DurableOptions{})
+	if _, err := reg2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := reg2.Get("x")
+	n := int(s2.Vertices())
+	if n <= 0 || n >= len(events)/2 {
+		t.Fatalf("recovered %d events from a quarter-length log of %d", n, len(events))
+	}
+	checkOracle(t, s2, events, r, n)
+	reg2.Close()
+}
+
+// TestDurableConcurrentIngestQuerySnapshot exercises the durable write
+// path under -race: one writer streams batches (snapshotting often)
+// while readers hammer reach and lineage queries and stats.
+func TestDurableConcurrentIngestQuerySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "BioAID")
+	events, r := genEvents(t, g, 500, 21)
+
+	reg := durableReg(t, dir, DurableOptions{SnapshotEvery: 32})
+	s, err := reg.Create("hot", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := s.Vertices()
+				if n < 2 {
+					continue
+				}
+				v := events[rng.Int63n(n)].V
+				w := events[rng.Int63n(n)].V
+				got, err := s.Reach(v, w)
+				if err != nil {
+					t.Errorf("reach(%d,%d): %v", v, w, err)
+					return
+				}
+				if want := r.Reaches(v, w); got != want {
+					t.Errorf("reach(%d,%d)=%v, want %v", v, w, got, want)
+					return
+				}
+				s.Stats()
+			}
+		}(int64(i))
+	}
+	appendAll(t, s, events, 25)
+	close(done)
+	wg.Wait()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := durableReg(t, dir, DurableOptions{})
+	if _, err := reg2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := reg2.Get("hot")
+	checkOracle(t, s2, events, r, len(events))
+}
+
+// TestDurableCreateValidation covers the filesystem-facing rules
+// durable mode adds to Create.
+func TestDurableCreateValidation(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	reg := durableReg(t, dir, DurableOptions{})
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+
+	for _, bad := range []string{"a/b", `a\b`, "..", ".", "a/../b"} {
+		if _, err := reg.Create(bad, g, cfg); err == nil {
+			t.Errorf("name %q accepted on a durable registry", bad)
+		}
+	}
+	if _, err := reg.Create("ok", g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover data (not an open session) also blocks creation.
+	reg.Delete("ok")
+	if err := os.MkdirAll(filepath.Join(dir, "stale"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stale", metaFile), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("stale", g, cfg); err == nil {
+		t.Error("Create over leftover session data succeeded")
+	}
+}
+
+// TestDurableDeleteRemovesData checks Delete tears down the on-disk
+// state so the name is immediately reusable and gone after Restore.
+func TestDurableDeleteRemovesData(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	events, _ := genEvents(t, g, 80, 2)
+	reg := durableReg(t, dir, DurableOptions{})
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	s, err := reg.Create("tmp", g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 80)
+	if !reg.Delete("tmp") {
+		t.Fatal("Delete(tmp) = false")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp")); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived delete: %v", err)
+	}
+	if _, err := reg.Create("tmp", g, cfg); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+	reg.Close()
+
+	reg2 := durableReg(t, dir, DurableOptions{})
+	restored, err := reg2.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0] != "tmp" {
+		t.Fatalf("restored %v, want only the recreated empty session", restored)
+	}
+	s2, _ := reg2.Get("tmp")
+	if s2.Vertices() != 0 {
+		t.Fatalf("deleted session's events came back: %d vertices", s2.Vertices())
+	}
+}
+
+// TestMemoryRegistryRestoreIsReadOnly restores a data directory into a
+// memory-only registry and checks no file is modified even when the
+// WAL has a corrupt tail.
+func TestMemoryRegistryRestoreIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	events, r := genEvents(t, g, 120, 9)
+	reg := durableReg(t, dir, DurableOptions{})
+	s, err := reg.Create("ro", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 40)
+	reg.Close()
+
+	walPath := filepath.Join(dir, "ro", walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{}, raw[:len(raw)-5]...)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := NewRegistry()
+	if _, err := mem.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := mem.Get("ro")
+	if s2.Stats().Durable {
+		t.Fatal("memory-restored session claims durability")
+	}
+	n := int(s2.Vertices())
+	checkOracle(t, s2, events, r, n)
+
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, torn) {
+		t.Fatal("memory-only restore modified the WAL")
+	}
+}

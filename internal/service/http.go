@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -34,11 +35,15 @@ import (
 // (Graph, Vertex) or Name identifies the executed specification
 // vertex: the ref form is run.Event, the name form core.NamedEvent.
 type WireEvent struct {
-	V      int32   `json:"v"`
-	Graph  *int32  `json:"graph,omitempty"`
-	Vertex *int32  `json:"vertex,omitempty"`
-	Name   string  `json:"name,omitempty"`
-	Preds  []int32 `json:"preds"`
+	// V is the new run vertex being executed.
+	V int32 `json:"v"`
+	// Graph and Vertex name the specification vertex (ref form).
+	Graph  *int32 `json:"graph,omitempty"`
+	Vertex *int32 `json:"vertex,omitempty"`
+	// Name is the executed module's name (name form).
+	Name string `json:"name,omitempty"`
+	// Preds are V's immediate predecessors in the run.
+	Preds []int32 `json:"preds"`
 }
 
 // ToWire converts a run event to its wire form.
@@ -70,6 +75,7 @@ func (w WireEvent) preds() []graph.VertexID {
 
 // CreateRequest is the JSON body of POST /v1/sessions.
 type CreateRequest struct {
+	// Name is the new session's registry name.
 	Name string `json:"name"`
 	// Builtin names a built-in specification (BuiltinNames), SpecXML
 	// carries a full specification inline; exactly one must be set.
@@ -88,25 +94,33 @@ type EventsRequest struct {
 
 // EventsResponse reports how far a batch got.
 type EventsResponse struct {
-	Applied  int   `json:"applied"`
+	// Applied is the number of events ingested from this batch.
+	Applied int `json:"applied"`
+	// Vertices is the session's labeled-vertex total afterwards.
 	Vertices int64 `json:"vertices"`
 }
 
 // ReachResponse answers one reachability query.
 type ReachResponse struct {
-	From      int32 `json:"from"`
-	To        int32 `json:"to"`
-	Reachable bool  `json:"reachable"`
+	// From and To echo the queried vertices.
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+	// Reachable reports whether From reaches To (reflexive).
+	Reachable bool `json:"reachable"`
 }
 
 // LineageResponse lists the provenance closure of a vertex.
 type LineageResponse struct {
-	Of        int32   `json:"of"`
+	// Of echoes the queried vertex.
+	Of int32 `json:"of"`
+	// Ancestors are the labeled vertices that reach Of, ascending.
 	Ancestors []int32 `json:"ancestors"`
 }
 
 // ListResponse lists sessions.
 type ListResponse struct {
+	// Sessions holds one Stats snapshot per open session, sorted by
+	// name.
 	Sessions []Stats `json:"sessions"`
 }
 
@@ -219,6 +233,14 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 		writeError(w, http.StatusBadRequest, fmt.Errorf("session name is required"))
 		return
 	}
+	if reg.Durable() {
+		// Report unusable names as a client error; Create would reject
+		// them anyway, but with a conflict status.
+		if err := validateSessionName(name); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	cfg, err := parseConfig(skelName, modeName)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -231,7 +253,13 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 	}
 	s, err := reg.Create(name, g, cfg)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		// Name collisions (including leftover on-disk data) are the
+		// client's problem; a registry that cannot persist is not.
+		status := http.StatusConflict
+		if errors.Is(err, ErrDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.Stats())
@@ -326,7 +354,13 @@ func handleEvents(s *Session, w http.ResponseWriter, r *http.Request) {
 		err = flushNamed(namedBase, named)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Applied: applied})
+		// Invalid events are the client's fault; a session that cannot
+		// write its log is the server's.
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error(), Applied: applied})
 		return
 	}
 	writeJSON(w, http.StatusOK, EventsResponse{Applied: applied, Vertices: s.Vertices()})

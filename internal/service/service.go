@@ -22,7 +22,9 @@
 package service
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,6 +36,7 @@ import (
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
 	"wfreach/internal/store"
+	"wfreach/internal/wal"
 	"wfreach/internal/wfspecs"
 )
 
@@ -45,16 +48,30 @@ type Config struct {
 	Mode core.RMode
 }
 
-// Stats is a point-in-time snapshot of one session.
+// Stats is a point-in-time snapshot of one session. Vertices counts
+// every labeled vertex, including those recovered by Restore; Batches
+// counts only the batches ingested since the session was opened or
+// restored in this process.
 type Stats struct {
-	Name         string `json:"name"`
-	Class        string `json:"class"`
-	Skeleton     string `json:"skeleton"`
-	Mode         string `json:"mode"`
-	Vertices     int64  `json:"vertices"`
-	Batches      int64  `json:"batches"`
-	LabelBits    int    `json:"label_bits"`
-	SkeletonBits int    `json:"skeleton_bits"`
+	// Name is the session's registry name.
+	Name string `json:"name"`
+	// Class is the grammar's recursion class.
+	Class string `json:"class"`
+	// Skeleton is the specification-labeling scheme ("TCL" or "BFS").
+	Skeleton string `json:"skeleton"`
+	// Mode is the recursion-compression mode.
+	Mode string `json:"mode"`
+	// Vertices is the number of labeled vertices.
+	Vertices int64 `json:"vertices"`
+	// Batches is the number of event batches ingested.
+	Batches int64 `json:"batches"`
+	// LabelBits is the total size of the stored encoded labels.
+	LabelBits int `json:"label_bits"`
+	// SkeletonBits is the size of the shared skeleton labeling.
+	SkeletonBits int `json:"skeleton_bits"`
+	// Durable reports whether the session persists its events to a
+	// write-ahead log (see NewDurableRegistry).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // Session is one live labeling session: a grammar, a streaming
@@ -76,24 +93,55 @@ type Session struct {
 
 	vertices atomic.Int64 // labeled vertices, readable without locks
 	batches  atomic.Int64
+
+	// Durable state (see durable.go); all but the immutable durable
+	// flag and dir are guarded by ingestMu. A nil wal on a durable
+	// session means its log was closed or poisoned.
+	durable    bool
+	dir        string
+	wal        *wal.Log
+	walEvents  int64 // events appended to the log
+	snapEvents int64 // events covered by the last snapshot
+	snapEvery  int64
+	snapBusy   bool           // a snapshot write is in flight
+	snapWG     sync.WaitGroup // tracks the in-flight snapshot goroutine
+	ioErr      error          // first log failure; poisons further ingest
 }
 
-// Registry is a concurrent name → session map.
+// Registry is a concurrent name → session map, optionally backed by a
+// data directory (NewDurableRegistry) in which case sessions survive
+// restarts via Restore.
 type Registry struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// creating reserves names whose durable on-disk state is being
+	// built outside the lock, so concurrent Create/Restore of the same
+	// name collide without holding mu across disk I/O.
+	creating map[string]bool
+	durable  *DurableOptions // nil: memory-only
 }
 
 // NewRegistry returns an empty session registry.
 func NewRegistry() *Registry {
-	return &Registry{sessions: make(map[string]*Session)}
+	return &Registry{sessions: make(map[string]*Session), creating: make(map[string]bool)}
 }
 
 // Create opens a new session over the grammar. The name must be
 // non-empty and not in use.
+//
+// On a durable registry (NewDurableRegistry) Create additionally must
+// be given a name usable as a directory name; it persists the
+// specification and labeling configuration under the data directory
+// and opens the session's write-ahead log before the session becomes
+// visible, so a session that Create returned is already recoverable.
 func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: empty session name")
+	}
+	if r.durable != nil {
+		if err := validateSessionName(name); err != nil {
+			return nil, err
+		}
 	}
 	s := &Session{
 		name:    name,
@@ -103,13 +151,35 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 		store:   store.New(g, cfg.Skeleton),
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.sessions[name]; dup {
+	if _, dup := r.sessions[name]; dup || r.creating[name] {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("service: session %q already exists", name)
 	}
-	r.sessions[name] = s
+	if r.durable == nil {
+		r.sessions[name] = s
+		r.mu.Unlock()
+		return s, nil
+	}
+	// Reserve the name, then build the on-disk state outside the lock
+	// so a slow disk never stalls queries on other sessions.
+	r.creating[name] = true
+	r.mu.Unlock()
+	err := s.initDurable(r.durable)
+	r.mu.Lock()
+	delete(r.creating, name)
+	if err == nil {
+		r.sessions[name] = s
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
+
+// Durable reports whether the registry persists its sessions to a
+// data directory (see NewDurableRegistry).
+func (r *Registry) Durable() bool { return r.durable != nil }
 
 // Get returns the named session.
 func (r *Registry) Get(name string) (*Session, bool) {
@@ -121,12 +191,28 @@ func (r *Registry) Get(name string) (*Session, bool) {
 
 // Delete removes the named session, reporting whether it existed.
 // In-flight operations on the session finish normally; it simply stops
-// being reachable by name.
+// being reachable by name. A durable session's log is closed and its
+// data directory removed — deletion is permanent, the session will not
+// come back on Restore, and the name is free for reuse the moment
+// Delete returns. (If the removal itself fails, orphaned files may
+// survive and be resurrected by a later Restore.) The teardown I/O
+// runs outside the registry lock; the name stays reserved until the
+// files are gone, so a racing Create cannot trip over them.
 func (r *Registry) Delete(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.sessions[name]
+	s, ok := r.sessions[name]
 	delete(r.sessions, name)
+	if ok && s.durable {
+		r.creating[name] = true
+	}
+	r.mu.Unlock()
+	if ok && s.durable {
+		s.closeWAL()
+		os.RemoveAll(s.dir)
+		r.mu.Lock()
+		delete(r.creating, name)
+		r.mu.Unlock()
+	}
 	return ok
 }
 
@@ -160,45 +246,75 @@ func (s *Session) Grammar() *spec.Grammar { return s.g }
 // its index is the returned count — and everything before it is
 // ingested and queryable (event streams are append-only, so a partial
 // prefix is still a valid partial execution).
+//
+// On a durable session each event is teed to the write-ahead log
+// after it labels successfully and before it becomes queryable, and
+// the log is flushed before Append returns — an acknowledged batch is
+// recoverable. A log write failure permanently stops ingestion on the
+// session (its in-memory state has outrun what disk can reproduce);
+// queries keep working.
 func (s *Session) Append(events []run.Event) (int, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if s.ioErr != nil {
+		return 0, s.ioErr
+	}
 	for i := range events {
 		l, err := s.labeler.Insert(events[i])
 		if err != nil {
-			return i, fmt.Errorf("service: %w", err)
+			err = fmt.Errorf("service: %w", err)
+			// The applied prefix is acknowledged: make it durable, and
+			// surface a failure to do so alongside the labeler error.
+			if ferr := s.finishBatch(); ferr != nil {
+				err = errors.Join(err, ferr)
+			}
+			return i, err
+		}
+		if err := s.logRecord(wal.RefRecord(events[i])); err != nil {
+			return i, err
 		}
 		s.publish(events[i].V, l)
 	}
 	s.batches.Add(1)
-	return len(events), nil
+	return len(events), s.finishBatch()
 }
 
 // AppendNamed ingests a batch of name-identified events (the Section
-// 5.3 naming-restriction setting), with Append's partial-batch
-// semantics.
+// 5.3 naming-restriction setting), with Append's partial-batch and
+// durability semantics.
 func (s *Session) AppendNamed(events []core.NamedEvent) (int, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if s.ioErr != nil {
+		return 0, s.ioErr
+	}
 	for i := range events {
 		l, err := s.labeler.InsertNamed(events[i])
 		if err != nil {
-			return i, fmt.Errorf("service: %w", err)
+			err = fmt.Errorf("service: %w", err)
+			if ferr := s.finishBatch(); ferr != nil {
+				err = errors.Join(err, ferr)
+			}
+			return i, err
+		}
+		if err := s.logRecord(wal.NamedRecord(events[i])); err != nil {
+			return i, err
 		}
 		s.publish(events[i].V, l)
 	}
 	s.batches.Add(1)
-	return len(events), nil
+	return len(events), s.finishBatch()
 }
 
 // publish copies a freshly issued label to the read side. Called with
 // ingestMu held; encodes outside the store lock and takes the write
 // lock only for the map insert, so readers are never blocked behind
-// label encoding.
+// label encoding. The freshly encoded slice is handed over without a
+// defensive copy — nothing else ever sees it.
 func (s *Session) publish(v graph.VertexID, l label.Label) {
 	enc := s.store.Encode(l)
 	s.storeMu.Lock()
-	err := s.store.PutEncoded(v, enc)
+	err := s.store.PutEncodedOwned(v, enc)
 	s.storeMu.Unlock()
 	if err != nil {
 		// Unreachable: the labeler already rejects duplicate vertices.
@@ -270,6 +386,7 @@ func (s *Session) Stats() Stats {
 		Batches:      s.batches.Load(),
 		LabelBits:    bits,
 		SkeletonBits: s.labeler.Skeleton().Bits(),
+		Durable:      s.durable,
 	}
 }
 

@@ -39,7 +39,7 @@ func New(g *spec.Grammar, kind skeleton.Kind) *Store {
 // Put encodes and stores the label of v. Labels are immutable: a
 // second Put for the same vertex is rejected.
 func (s *Store) Put(v graph.VertexID, l label.Label) error {
-	return s.PutEncoded(v, s.codec.Encode(l))
+	return s.PutEncodedOwned(v, s.codec.Encode(l))
 }
 
 // Encode encodes a label with the store's codec without storing it.
@@ -48,8 +48,22 @@ func (s *Store) Put(v graph.VertexID, l label.Label) error {
 func (s *Store) Encode(l label.Label) []byte { return s.codec.Encode(l) }
 
 // PutEncoded stores already-encoded label bytes for v, rejecting
-// duplicates. The store takes ownership of enc.
+// duplicates. The bytes are copied on insert, so the caller keeps
+// ownership of enc and may reuse it — a caller feeding the store from
+// a shared read buffer must not be able to mutate a stored label
+// after the fact (labels are write-once).
 func (s *Store) PutEncoded(v graph.VertexID, enc []byte) error {
+	own := make([]byte, len(enc))
+	copy(own, enc)
+	return s.PutEncodedOwned(v, own)
+}
+
+// PutEncodedOwned stores enc without copying, transferring ownership
+// to the store: the caller must never touch enc again. It exists for
+// the hot ingest path, where the bytes come fresh out of Encode and a
+// defensive copy would double every label allocation; buffer-reusing
+// callers want PutEncoded instead.
+func (s *Store) PutEncodedOwned(v graph.VertexID, enc []byte) error {
 	if _, dup := s.data[v]; dup {
 		return fmt.Errorf("store: vertex %d already stored", v)
 	}

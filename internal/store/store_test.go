@@ -176,3 +176,55 @@ func TestPutEncodedMatchesPut(t *testing.T) {
 		t.Fatal("duplicate PutEncoded accepted")
 	}
 }
+
+// TestPutEncodedCopies checks the aliasing contract of PutEncoded: the
+// store copies the encoded bytes on insert, so a caller that reuses
+// its buffer (as WAL/snapshot replay loops do) cannot corrupt a stored
+// label after the fact.
+func TestPutEncodedCopies(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 60, Seed: 3})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.New(g, skeleton.TCL)
+
+	// Feed every label through one shared buffer, clobbering it between
+	// inserts the way a file-replay loop would.
+	var buf []byte
+	for _, v := range r.Graph.LiveVertices() {
+		enc := s.Encode(d.MustLabel(v))
+		buf = append(buf[:0], enc...)
+		if err := s.PutEncoded(v, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			buf[i] = 0xff
+		}
+	}
+
+	// Every stored label must still decode and answer like the oracle.
+	live := r.Graph.LiveVertices()
+	for _, v := range live {
+		for _, w := range live {
+			got, err := s.Reach(v, w)
+			if err != nil {
+				t.Fatalf("reach(%d,%d) after buffer reuse: %v", v, w, err)
+			}
+			if want := r.Graph.Reaches(v, w); got != want {
+				t.Fatalf("reach(%d,%d)=%v, want %v (stored label aliased a reused buffer)", v, w, got, want)
+			}
+		}
+	}
+
+	// The raw bytes handed back must also be the store's own copy.
+	v := live[0]
+	raw, ok := s.GetRaw(v)
+	if !ok {
+		t.Fatal("GetRaw lost a vertex")
+	}
+	if len(raw) > 0 && &raw[0] == &buf[0] {
+		t.Fatal("GetRaw returned the caller's buffer")
+	}
+}

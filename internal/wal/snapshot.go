@@ -1,0 +1,137 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"wfreach/internal/graph"
+)
+
+// snapMagic identifies a snapshot file and its format version.
+var snapMagic = [8]byte{'W', 'F', 'S', 'N', 'A', 'P', '0', '1'}
+
+// Snapshot is a point-in-time copy of a session's encoded label map.
+// Labels are write-once, so a snapshot taken at event watermark E
+// holds exactly the labels issued by the first E logged events and
+// stays valid forever: recovery loads it, replays only the labeler
+// state for the covered prefix, and re-encodes nothing.
+type Snapshot struct {
+	// Events is the number of log records the snapshot covers: the
+	// first Events records of the WAL produced exactly the labels in
+	// Labels (each event labels one vertex).
+	Events int64
+	// Labels maps each covered run vertex to its encoded label bytes,
+	// exactly as Store.Snapshot returned them.
+	Labels map[graph.VertexID][]byte
+}
+
+// WriteSnapshot atomically replaces the snapshot at path: the encoding
+// is written to a temporary file in the same directory, synced, and
+// renamed into place, so a crash mid-write leaves the previous
+// snapshot (or its absence) intact.
+func WriteSnapshot(path string, s Snapshot) error {
+	body := make([]byte, 0, 16+len(s.Labels)*24)
+	body = binary.AppendUvarint(body, uint64(s.Events))
+	body = binary.AppendUvarint(body, uint64(len(s.Labels)))
+	// Deterministic order so identical states produce identical files.
+	vs := make([]graph.VertexID, 0, len(s.Labels))
+	for v := range s.Labels {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		enc := s.Labels[v]
+		body = binary.AppendUvarint(body, uint64(v))
+		body = binary.AppendUvarint(body, uint64(len(enc)))
+		body = append(body, enc...)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, err = tmp.Write(snapMagic[:])
+	if err == nil {
+		_, err = tmp.Write(body)
+	}
+	if err == nil {
+		_, err = tmp.Write(sum[:])
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads the snapshot at path. A missing file is reported
+// via os.ErrNotExist; a damaged one via ErrCorrupt (callers fall back
+// to full log replay in both cases). The returned label slices are
+// freshly allocated and owned by the caller.
+func ReadSnapshot(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if len(raw) < len(snapMagic)+4 || string(raw[:len(snapMagic)]) != string(snapMagic[:]) {
+		return Snapshot{}, fmt.Errorf("%w: snapshot %s: bad magic or size", ErrCorrupt, filepath.Base(path))
+	}
+	body := raw[len(snapMagic) : len(raw)-4]
+	sum := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Snapshot{}, fmt.Errorf("%w: snapshot %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
+	}
+
+	r := &payloadReader{b: body}
+	events, err := r.uvarint()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if count > uint64(len(body)) { // each entry takes ≥ 2 bytes
+		return Snapshot{}, fmt.Errorf("%w: snapshot label count %d exceeds file", ErrCorrupt, count)
+	}
+	s := Snapshot{Events: int64(events), Labels: make(map[graph.VertexID][]byte, count)}
+	for i := uint64(0); i < count; i++ {
+		v, err := r.vertex()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if n > uint64(len(body)-r.pos) {
+			return Snapshot{}, fmt.Errorf("%w: snapshot label length %d exceeds file", ErrCorrupt, n)
+		}
+		if _, dup := s.Labels[v]; dup {
+			return Snapshot{}, fmt.Errorf("%w: snapshot vertex %d duplicated", ErrCorrupt, v)
+		}
+		enc := make([]byte, n)
+		copy(enc, body[r.pos:r.pos+int(n)])
+		r.pos += int(n)
+		s.Labels[v] = enc
+	}
+	if r.pos != len(body) {
+		return Snapshot{}, fmt.Errorf("%w: snapshot has %d trailing bytes", ErrCorrupt, len(body)-r.pos)
+	}
+	return s, nil
+}

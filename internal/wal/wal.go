@@ -1,0 +1,342 @@
+// Package wal persists labeling sessions: an append-only write-ahead
+// log of execution events plus point-in-time snapshots of the encoded
+// label map. Together they make a session durable — after a crash the
+// event log is replayed through a fresh labeler (labeling is
+// deterministic, so replay reissues the exact same labels) and the
+// snapshot supplies the already-encoded label bytes for the prefix it
+// covers, so recovery never re-encodes a label it already wrote out.
+//
+// # On-disk format
+//
+// The byte-level layouts of both files are specified in the
+// wire-format appendix of ARCHITECTURE.md; the summary:
+//
+// A log is a sequence of records, each framed as
+//
+//	uint32 LE  payload length N
+//	uint32 LE  CRC-32 (IEEE) of the payload
+//	N bytes    payload
+//
+// with the payload encoding one execution event (a kind byte followed
+// by uvarint fields). A torn write — a crash mid-append — leaves a
+// short or CRC-mismatched record at the tail; Scan detects it, reports
+// the valid prefix, and Open truncates the garbage before appending.
+// Corruption is only ever accepted at the tail: a bad record hides
+// everything after it, by design, because the event stream is
+// meaningful only as a prefix.
+//
+// A snapshot is written to a temporary file and atomically renamed
+// into place, so a crash during snapshotting leaves the previous
+// snapshot intact. Its body (event watermark plus the vertex →
+// encoded-label pairs) is protected by a trailing CRC-32; a corrupt
+// snapshot is reported as ErrCorrupt and recovery falls back to full
+// log replay.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"wfreach/internal/core"
+	"wfreach/internal/graph"
+	"wfreach/internal/run"
+	"wfreach/internal/spec"
+)
+
+// Record kinds (the first payload byte).
+const (
+	kindRef   = 0x01 // run.Event: specification-reference identified
+	kindNamed = 0x02 // core.NamedEvent: module-name identified
+)
+
+// maxPayload caps a record payload at 1 MiB. Real events are tens of
+// bytes; the cap stops a corrupt length prefix from allocating
+// gigabytes before the CRC check can reject it.
+const maxPayload = 1 << 20
+
+// ErrCorrupt reports a file whose checksum or structure is invalid.
+// For logs it is only returned wrapped in tail positions that Scan
+// already skipped; for snapshots it means the whole file is unusable.
+var ErrCorrupt = errors.New("wal: corrupt data")
+
+// Record is one logged execution event, in either of the two event
+// forms the service ingests.
+type Record struct {
+	// Named selects which event field is meaningful.
+	Named bool
+	// Ref is the specification-reference form (valid when !Named).
+	Ref run.Event
+	// NamedEv is the module-name form (valid when Named).
+	NamedEv core.NamedEvent
+}
+
+// RefRecord wraps a reference-identified event as a Record.
+func RefRecord(ev run.Event) Record { return Record{Ref: ev} }
+
+// NamedRecord wraps a name-identified event as a Record.
+func NamedRecord(ev core.NamedEvent) Record { return Record{Named: true, NamedEv: ev} }
+
+// appendPayload encodes the record payload (no frame) onto buf.
+func appendPayload(buf []byte, rec Record) []byte {
+	if rec.Named {
+		buf = append(buf, kindNamed)
+		buf = binary.AppendUvarint(buf, uint64(rec.NamedEv.V))
+		buf = binary.AppendUvarint(buf, uint64(len(rec.NamedEv.Name)))
+		buf = append(buf, rec.NamedEv.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.NamedEv.Preds)))
+		for _, p := range rec.NamedEv.Preds {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		}
+		return buf
+	}
+	buf = append(buf, kindRef)
+	buf = binary.AppendUvarint(buf, uint64(rec.Ref.V))
+	buf = binary.AppendUvarint(buf, uint64(rec.Ref.Ref.Graph))
+	buf = binary.AppendUvarint(buf, uint64(rec.Ref.Ref.V))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Ref.Preds)))
+	for _, p := range rec.Ref.Preds {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	return buf
+}
+
+// payloadReader decodes uvarint fields with bounds checking.
+type payloadReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at payload offset %d", ErrCorrupt, r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *payloadReader) vertex() (graph.VertexID, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(int32(^uint32(0)>>1)) {
+		return 0, fmt.Errorf("%w: vertex id %d out of range", ErrCorrupt, v)
+	}
+	return graph.VertexID(v), nil
+}
+
+func (r *payloadReader) preds() ([]graph.VertexID, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) { // each pred takes ≥ 1 byte
+		return nil, fmt.Errorf("%w: predecessor count %d exceeds payload", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		if out[i], err = r.vertex(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodePayload parses one record payload.
+func decodePayload(b []byte) (Record, error) {
+	if len(b) == 0 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	r := &payloadReader{b: b, pos: 1}
+	switch b[0] {
+	case kindRef:
+		var rec Record
+		var err error
+		if rec.Ref.V, err = r.vertex(); err != nil {
+			return Record{}, err
+		}
+		g, err := r.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Ref.Ref.Graph = spec.GraphID(g)
+		if rec.Ref.Ref.V, err = r.vertex(); err != nil {
+			return Record{}, err
+		}
+		if rec.Ref.Preds, err = r.preds(); err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	case kindNamed:
+		rec := Record{Named: true}
+		var err error
+		if rec.NamedEv.V, err = r.vertex(); err != nil {
+			return Record{}, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		if n > uint64(len(b)-r.pos) {
+			return Record{}, fmt.Errorf("%w: name length %d exceeds payload", ErrCorrupt, n)
+		}
+		rec.NamedEv.Name = string(b[r.pos : r.pos+int(n)])
+		r.pos += int(n)
+		if rec.NamedEv.Preds, err = r.preds(); err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record kind 0x%02x", ErrCorrupt, b[0])
+	}
+}
+
+// Scan reads the log at path from the beginning, calling fn for each
+// intact record in order. It stops without error at the first torn or
+// corrupt record — a crash can only damage the tail, and everything
+// after a bad record is unrecoverable by construction — and returns
+// the number of records delivered plus the byte offset of the end of
+// the valid prefix (the offset Open should truncate to). A missing
+// file scans as empty. An error from fn aborts the scan and is
+// returned as-is.
+func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return n, validSize, nil // EOF or torn frame: end of valid prefix
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxPayload {
+			return n, validSize, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return n, validSize, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return n, validSize, nil // bit rot or torn overwrite
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return n, validSize, nil // framed but malformed: treat as tail damage
+		}
+		if fn != nil {
+			if err := fn(n, rec); err != nil {
+				return n, validSize, err
+			}
+		}
+		n++
+		validSize += int64(8 + length)
+	}
+}
+
+// Log is an open write-ahead log, ready for appends. Methods are not
+// safe for concurrent use; the service serializes them under its
+// per-session ingest lock.
+type Log struct {
+	f     *os.File
+	w     *bufio.Writer
+	fsync bool
+	buf   []byte // scratch for payload encoding
+}
+
+// Open opens (creating if absent) the log at path for appending and
+// truncates it to validSize, discarding any corrupt tail that a prior
+// Scan reported. fsync selects whether Flush also forces the data to
+// stable storage.
+func Open(path string, validSize int64, fsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate corrupt tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), fsync: fsync}, nil
+}
+
+// Append frames and buffers one record. The record is not durable —
+// and must not be acknowledged — until the next Flush. A record whose
+// payload exceeds the format's 1 MiB cap is rejected up front: Scan
+// would treat it as corruption, silently truncating recovery at that
+// point, so it must never be acknowledged as logged.
+func (l *Log) Append(rec Record) error {
+	l.buf = appendPayload(l.buf[:0], rec)
+	if len(l.buf) > maxPayload {
+		return fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte format cap", len(l.buf), maxPayload)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(l.buf)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(l.buf))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered records to the file, fsyncing as configured at
+// Open. Call it before acknowledging a batch.
+func (l *Log) Flush() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes and forces the log to stable storage regardless of the
+// fsync setting.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	flushErr := l.Flush()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return flushErr
+}

@@ -166,13 +166,30 @@ type (
 	// WireEvent is the JSON form of one execution event on the service
 	// HTTP API.
 	WireEvent = service.WireEvent
+	// DurableOptions configures the persistence layer of a durable
+	// registry: the data directory, the snapshot cadence and the fsync
+	// policy.
+	DurableOptions = service.DurableOptions
 )
 
 // NewStore creates an empty label store for runs of the grammar.
 func NewStore(g *Grammar, kind SkeletonKind) *Store { return store.New(g, kind) }
 
-// NewRegistry returns an empty session registry.
+// NewRegistry returns an empty, memory-only session registry.
 func NewRegistry() *Registry { return service.NewRegistry() }
+
+// NewDurableRegistry returns a registry whose sessions persist to a
+// data directory through a write-ahead log and periodic label
+// snapshots, and can be rebuilt after a restart with Registry.Restore.
+// See ARCHITECTURE.md for the on-disk format.
+func NewDurableRegistry(opts DurableOptions) (*Registry, error) {
+	return service.NewDurableRegistry(opts)
+}
+
+// ErrDurability marks server-side persistence failures on a durable
+// session — a write-ahead log that cannot be written or flushed. A
+// session returning it refuses further ingest; queries keep working.
+var ErrDurability = service.ErrDurability
 
 // NewServiceHandler returns the JSON/HTTP handler serving the registry
 // (the cmd/wfserve API; see internal/service for the endpoints).
