@@ -1,19 +1,29 @@
 // Command wfload drives a running wfserve: it generates workflow runs,
 // replays their execution streams against the server at configurable
-// concurrency and batch size, interleaves reachability queries, and
-// reports ingest/query throughput and latency percentiles.
+// concurrency and batch size, interleaves reachability (and optionally
+// lineage) queries, and reports ingest/query throughput and latency
+// percentiles.
 //
 // Usage:
 //
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 10000 -sessions 4 -batch 128 -readers 4
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
+//	wfload -addr http://127.0.0.1:8080 -readers 8 -lineage-every 16 -json run.json -cpuprofile cpu.pprof
 //
 // Each session gets its own generated run (distinct seeds) and its own
 // writer goroutine streaming event batches; -readers query goroutines
 // per session issue reach queries over the already-acknowledged prefix
-// while ingestion is in flight. With -verify every query answer is
-// checked against BFS ground truth on the generated run.
+// while ingestion is in flight — with -lineage-every N, every Nth
+// query is a full lineage scan instead, for query-heavy mixed
+// workloads. -shards asks the server for a specific store shard count
+// per created session. With -verify every query answer is checked
+// against BFS ground truth on the generated run.
+//
+// -json writes a machine-readable result report (throughput plus
+// latency percentiles) to the given path, so performance runs can be
+// tracked over time (see BENCH_service.json); -cpuprofile and
+// -memprofile capture pprof profiles of the load generator itself.
 //
 // -resume is the crash/restart verification mode for a durable server
 // (wfserve -data). Run a normal wfload, kill the server mid-ingest,
@@ -35,6 +45,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,17 +56,22 @@ import (
 )
 
 type config struct {
-	addr     string
-	spec     string
-	size     int
-	seed     int64
-	sessions int
-	batch    int
-	readers  int
-	verify   bool
-	prefix   string
-	resume   bool
-	queries  int
+	addr         string
+	spec         string
+	size         int
+	seed         int64
+	sessions     int
+	batch        int
+	readers      int
+	verify       bool
+	prefix       string
+	resume       bool
+	queries      int
+	shards       int
+	lineageEvery int
+	jsonPath     string
+	cpuProfile   string
+	memProfile   string
 }
 
 func main() {
@@ -70,6 +87,11 @@ func main() {
 	flag.StringVar(&cfg.prefix, "prefix", "load", "session name prefix")
 	flag.BoolVar(&cfg.resume, "resume", false, "verify sessions recovered by a restarted durable server instead of ingesting")
 	flag.IntVar(&cfg.queries, "queries", 2000, "reach queries per session in -resume mode")
+	flag.IntVar(&cfg.shards, "shards", 0, "store shard count per created session (0 = server default)")
+	flag.IntVar(&cfg.lineageEvery, "lineage-every", 0, "issue a lineage query every N reader queries (0 disables)")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable result report to this path")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the load generator to this path")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile of the load generator to this path")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -101,6 +123,53 @@ func (l *latencies) percentile(p float64) time.Duration {
 func (l *latencies) sorted() *latencies {
 	sort.Slice(l.ds, func(i, j int) bool { return l.ds[i] < l.ds[j] })
 	return l
+}
+
+// reportPercentiles is the JSON form of a latency distribution.
+type reportPercentiles struct {
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+func toPercentiles(l *latencies) reportPercentiles {
+	return reportPercentiles{
+		P50NS: l.percentile(0.50).Nanoseconds(),
+		P90NS: l.percentile(0.90).Nanoseconds(),
+		P99NS: l.percentile(0.99).Nanoseconds(),
+	}
+}
+
+// report is the -json result document: the workload configuration and
+// the measured throughput and latency numbers, in stable units.
+type report struct {
+	Spec             string            `json:"spec"`
+	Sessions         int               `json:"sessions"`
+	SizePerSession   int               `json:"size_per_session"`
+	Batch            int               `json:"batch"`
+	Readers          int               `json:"readers"`
+	Shards           int               `json:"shards,omitempty"`
+	LineageEvery     int               `json:"lineage_every,omitempty"`
+	Seed             int64             `json:"seed"`
+	ElapsedSec       float64           `json:"elapsed_sec"`
+	IngestEvents     int64             `json:"ingest_events"`
+	EventsPerSec     float64           `json:"events_per_sec"`
+	IngestLatency    reportPercentiles `json:"ingest_batch_latency"`
+	Queries          int64             `json:"queries"`
+	LineageQueries   int64             `json:"lineage_queries"`
+	QueryErrors      int64             `json:"query_errors"`
+	QueriesPerSec    float64           `json:"queries_per_sec"`
+	QueryLatency     reportPercentiles `json:"query_latency"`
+	VerifyChecked    bool              `json:"verify_checked"`
+	VerifyMismatches int64             `json:"verify_mismatches"`
+}
+
+func writeReport(path string, rep report) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 type client struct {
@@ -144,6 +213,10 @@ func (c *client) do(method, path string, body, out any) error {
 
 type reachResponse struct {
 	Reachable bool `json:"reachable"`
+}
+
+type lineageResponse struct {
+	Ancestors []int32 `json:"ancestors"`
 }
 
 type statsResponse struct {
@@ -239,16 +312,32 @@ func run(cfg config, out io.Writer) error {
 		cfg.sessions, cfg.size, total, cfg.batch, cfg.readers)
 
 	for _, l := range loads {
-		if err := c.do("POST", "/v1/sessions",
-			map[string]string{"name": l.name, "builtin": cfg.spec}, nil); err != nil {
+		body := map[string]any{"name": l.name, "builtin": cfg.spec}
+		if cfg.shards > 0 {
+			body["shards"] = cfg.shards
+		}
+		if err := c.do("POST", "/v1/sessions", body, nil); err != nil {
 			return fmt.Errorf("create session %s: %w", l.name, err)
 		}
+	}
+
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var (
 		wg         sync.WaitGroup
 		ingested   atomic.Int64
 		queried    atomic.Int64
+		lineages   atomic.Int64
 		queryErrs  atomic.Int64
 		mismatches atomic.Int64
 		ingestLat  latencies
@@ -298,7 +387,7 @@ func run(cfg config, out io.Writer) error {
 			go func(seed int64) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed))
-				for {
+				for n := 0; ; n++ {
 					select {
 					case <-done:
 						return
@@ -310,6 +399,20 @@ func run(cfg config, out io.Writer) error {
 						continue
 					}
 					v := l.events[rng.Int63n(wm)].V
+					if cfg.lineageEvery > 0 && n%cfg.lineageEvery == cfg.lineageEvery-1 {
+						var lr lineageResponse
+						t0 := time.Now()
+						err := c.do("GET",
+							fmt.Sprintf("/v1/sessions/%s/lineage?of=%d", l.name, v), nil, &lr)
+						queryLat.add(time.Since(t0))
+						if err != nil {
+							queryErrs.Add(1)
+							continue
+						}
+						lineages.Add(1)
+						queried.Add(1)
+						continue
+					}
 					w := l.events[rng.Int63n(wm)].V
 					var rr reachResponse
 					t0 := time.Now()
@@ -344,14 +447,56 @@ func run(cfg config, out io.Writer) error {
 		il.percentile(0.50).Round(time.Microsecond),
 		il.percentile(0.90).Round(time.Microsecond),
 		il.percentile(0.99).Round(time.Microsecond))
-	fmt.Fprintf(out, "queries: %d ok, %d errors  (%.0f queries/sec)\n",
-		queried.Load(), queryErrs.Load(), float64(queried.Load())/elapsed.Seconds())
+	fmt.Fprintf(out, "queries: %d ok (%d lineage), %d errors  (%.0f queries/sec)\n",
+		queried.Load(), lineages.Load(), queryErrs.Load(), float64(queried.Load())/elapsed.Seconds())
 	fmt.Fprintf(out, "query latency: p50=%v p90=%v p99=%v\n",
 		ql.percentile(0.50).Round(time.Microsecond),
 		ql.percentile(0.90).Round(time.Microsecond),
 		ql.percentile(0.99).Round(time.Microsecond))
 	if cfg.verify {
 		fmt.Fprintf(out, "verify: %d mismatches over %d checked queries\n", mismatches.Load(), queried.Load())
+	}
+
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if cfg.jsonPath != "" {
+		rep := report{
+			Spec:             cfg.spec,
+			Sessions:         cfg.sessions,
+			SizePerSession:   cfg.size,
+			Batch:            cfg.batch,
+			Readers:          cfg.readers,
+			Shards:           cfg.shards,
+			LineageEvery:     cfg.lineageEvery,
+			Seed:             cfg.seed,
+			ElapsedSec:       elapsed.Seconds(),
+			IngestEvents:     ingested.Load(),
+			EventsPerSec:     float64(ingested.Load()) / elapsed.Seconds(),
+			IngestLatency:    toPercentiles(il),
+			Queries:          queried.Load(),
+			LineageQueries:   lineages.Load(),
+			QueryErrors:      queryErrs.Load(),
+			QueriesPerSec:    float64(queried.Load()) / elapsed.Seconds(),
+			QueryLatency:     toPercentiles(ql),
+			VerifyChecked:    cfg.verify,
+			VerifyMismatches: mismatches.Load(),
+		}
+		if err := writeReport(cfg.jsonPath, rep); err != nil {
+			return fmt.Errorf("write -json report: %w", err)
+		}
+		fmt.Fprintf(out, "report written to %s\n", cfg.jsonPath)
 	}
 	return nil
 }

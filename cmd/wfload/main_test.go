@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"os/exec"
@@ -131,5 +132,70 @@ func TestResumeVerifiesRestoredSessions(t *testing.T) {
 	cfg.addr = empty.URL
 	if err := run(cfg, &bytes.Buffer{}); err == nil {
 		t.Fatal("resume against an empty server should fail")
+	}
+}
+
+// TestRunReportAndProfiles drives a query-heavy mixed workload
+// (lineage interleaved) and checks the -json report and pprof profiles
+// land on disk with sane contents.
+func TestRunReportAndProfiles(t *testing.T) {
+	srv := httptest.NewServer(wfreach.NewServiceHandler(wfreach.NewRegistry()))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	cfg := config{
+		addr:         srv.URL,
+		spec:         "RunningExample",
+		size:         400,
+		seed:         5,
+		sessions:     1,
+		batch:        32,
+		readers:      2,
+		shards:       4,
+		lineageEvery: 4,
+		prefix:       "rep",
+		jsonPath:     jsonPath,
+		cpuProfile:   cpuPath,
+		memProfile:   memPath,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "lineage") {
+		t.Fatalf("no lineage count in output:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, raw)
+	}
+	if rep.IngestEvents == 0 || rep.EventsPerSec <= 0 {
+		t.Fatalf("report has no ingest numbers: %+v", rep)
+	}
+	if rep.Spec != "RunningExample" || rep.Shards != 4 || rep.LineageEvery != 4 {
+		t.Fatalf("report config echo wrong: %+v", rep)
+	}
+	if rep.QueryErrors > 0 {
+		t.Fatalf("query errors in report: %+v", rep)
+	}
+	if rep.Queries > 0 && rep.QueryLatency.P99NS < rep.QueryLatency.P50NS {
+		t.Fatalf("latency percentiles not monotone: %+v", rep.QueryLatency)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -7,7 +7,7 @@
 //
 //	wfserve -addr :8080
 //	wfserve -addr 127.0.0.1:0 -session demo=BioAID
-//	wfserve -addr :8080 -data /var/lib/wfserve
+//	wfserve -addr :8080 -data /var/lib/wfserve -shards 32
 //
 // With -data the service is durable: every session persists its
 // specification, an append-only write-ahead log of ingested events,
@@ -18,13 +18,26 @@
 // where the log ends. -fsync (default true) makes acknowledged batches
 // survive machine crashes, not just process crashes; -snapshot-every
 // tunes how many events may need label re-encoding at recovery.
+// Concurrent batches across sessions share WAL flushes through group
+// commit.
+//
+// -shards sets the default store shard count for new and restored
+// sessions (a per-session "shards" field on the create request
+// overrides it). Queries run lock-free against the sharded store's
+// published views, so more shards chiefly buy cheaper publishes on
+// very large sessions.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting connections, drains in-flight requests, then flushes and
+// closes every session's write-ahead log, so a planned restart never
+// relies on crash recovery.
 //
 // The JSON API (see internal/service):
 //
 //	POST   /v1/sessions                 {"name":"r1","builtin":"BioAID"}
-//	POST   /v1/sessions                 {"name":"r2","spec_xml":"<spec>…"}
+//	POST   /v1/sessions                 {"name":"r2","spec_xml":"<spec>…","shards":32}
 //	GET    /v1/sessions                 list sessions
-//	GET    /v1/sessions/{name}          session stats
+//	GET    /v1/sessions/{name}          session stats (incl. per-shard counts + publish epochs)
 //	DELETE /v1/sessions/{name}          drop a session
 //	POST   /v1/sessions/{name}/events   {"events":[{"v":0,"graph":0,"vertex":0,"preds":[]},…]}
 //	GET    /v1/sessions/{name}/reach    ?from=3&to=141
@@ -36,12 +49,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"wfreach"
 )
@@ -56,6 +73,8 @@ func main() {
 	dataDir := flag.String("data", "", "data directory: persist sessions (WAL + snapshots) and restore them on boot")
 	fsync := flag.Bool("fsync", true, "with -data: fsync the WAL before acknowledging a batch")
 	snapEvery := flag.Int("snapshot-every", 0, "with -data: events between label snapshots (0 = default, <0 disables)")
+	shards := flag.Int("shards", 0, "default store shard count per session (0 = built-in default)")
+	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
 	var sessions sessionFlags
 	flag.Var(&sessions, "session", "pre-create a session \"name=Builtin\" (repeatable)")
 	flag.Parse()
@@ -63,6 +82,9 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		os.Exit(1)
+	}
+	if *shards < 0 {
+		fail(fmt.Errorf("-shards must be non-negative, got %d", *shards))
 	}
 
 	reg := wfreach.NewRegistry()
@@ -74,6 +96,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		reg.SetDefaultShards(*shards)
 		restored, err := reg.Restore(*dataDir)
 		if err != nil {
 			fail(err)
@@ -84,6 +107,8 @@ func main() {
 				fmt.Printf("wfserve: restored %q: %d vertices\n", name, s.Vertices())
 			}
 		}
+	} else {
+		reg.SetDefaultShards(*shards)
 	}
 	for _, sf := range sessions {
 		name, builtin, ok := strings.Cut(sf, "=")
@@ -107,8 +132,31 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wfserve: listening on http://%s\n", ln.Addr())
-	if err := http.Serve(ln, wfreach.NewServiceHandler(reg)); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
+	// close the registry so the WALs end flushed instead of relying on
+	// crash recovery at the next boot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: wfreach.NewServiceHandler(reg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
 		fail(err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		fmt.Printf("wfserve: shutting down (draining up to %v)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "wfserve: drain: %v\n", err)
+		}
+		if err := reg.Close(); err != nil {
+			fail(fmt.Errorf("closing sessions: %w", err))
+		}
+		fmt.Printf("wfserve: shutdown complete\n")
 	}
 }
 

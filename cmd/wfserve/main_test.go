@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -262,5 +263,108 @@ func TestWfserveCrashRecovery(t *testing.T) {
 				t.Fatalf("after recovery reach(%d,%d) = %v, oracle %v", v, w, rr.Reachable, want)
 			}
 		}
+	}
+}
+
+// TestWfserveGracefulShutdown exercises the SIGTERM path: a durable
+// server is asked to shut down while it holds acknowledged events; it
+// must exit zero (drain, flush, close the WALs) and a second server on
+// the same directory must restore every acknowledged vertex.
+func TestWfserveGracefulShutdown(t *testing.T) {
+	bin := buildOnce(t)
+	dataDir := t.TempDir()
+	base, cmd := startServerCmd(t, bin, "-data", dataDir)
+
+	body, _ := json.Marshal(map[string]string{"name": "calm", "builtin": "RunningExample"})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	g := wfreach.MustCompile(wfreach.RunningExample())
+	events, r, err := wfreach.GenerateEvents(g, wfreach.GenOptions{TargetSize: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]wfreach.WireEvent, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	b, _ := json.Marshal(map[string]any{"events": wire})
+	resp, err = http.Post(base+"/v1/sessions/calm/events", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("server did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit within 15s of SIGTERM")
+	}
+
+	// Everything acknowledged survives the planned restart.
+	base2, _ := startServerCmd(t, bin, "-data", dataDir)
+	resp, err = http.Get(base2 + "/v1/sessions/calm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st wfreach.SessionStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Vertices != int64(len(events)) {
+		t.Fatalf("recovered %d vertices, want %d", st.Vertices, len(events))
+	}
+	for i := 0; i < 40; i++ {
+		v, w := events[i%len(events)].V, events[(i*17)%len(events)].V
+		resp, err := http.Get(fmt.Sprintf("%s/v1/sessions/calm/reach?from=%d&to=%d", base2, v, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr struct {
+			Reachable bool `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if want := r.Reaches(v, w); rr.Reachable != want {
+			t.Fatalf("after restart reach(%d,%d) = %v, oracle %v", v, w, rr.Reachable, want)
+		}
+	}
+}
+
+// TestWfserveShardsFlag checks -shards steers the default store shard
+// count of created sessions.
+func TestWfserveShardsFlag(t *testing.T) {
+	base := startServer(t, "-shards", "4", "-session", "sh=RunningExample")
+	resp, err := http.Get(base + "/v1/sessions/sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st wfreach.SessionStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("session has %d shards, want 4 from -shards", len(st.Shards))
 	}
 }

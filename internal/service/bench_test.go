@@ -126,3 +126,68 @@ func BenchmarkSessionQuery(b *testing.B) {
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
+
+// BenchmarkSessionLineage measures the lock-free full-closure scan on
+// a fully ingested session.
+func BenchmarkSessionLineage(b *testing.B) {
+	g, events := benchEvents(b, 4096)
+	reg := NewRegistry()
+	s, err := reg.Create("b", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ingestAll(b, s, events, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lineage(events[i%len(events)].V); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lineages/sec")
+}
+
+// BenchmarkDurableConcurrentSessions measures WAL group commit: many
+// sessions ingest concurrently on one durable registry, so their
+// per-batch flushes coalesce through the cross-session committer.
+// events/sec is the aggregate across sessions.
+func BenchmarkDurableConcurrentSessions(b *testing.B) {
+	const sessions = 4
+	g, events := benchEvents(b, 4096)
+	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg, err := NewDurableRegistry(DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss := make([]*Session, sessions)
+		for si := range ss {
+			if ss[si], err = reg.Create(string(rune('a'+si)), g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for _, s := range ss {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				for lo := 0; lo < len(events); lo += 256 {
+					hi := min(lo+256, len(events))
+					if _, err := s.Append(events[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := reg.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(events)*sessions*b.N)/b.Elapsed().Seconds(), "events/sec")
+}

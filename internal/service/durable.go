@@ -59,12 +59,15 @@ type DurableOptions struct {
 }
 
 // sessionMeta is the JSON body of a session's metadata file, written
-// once at creation.
+// once at creation. Shards records the session's configured store
+// shard count (zero: the registry default at restore time); absent in
+// files written before the field existed, which decodes as zero.
 type sessionMeta struct {
 	Format   int    `json:"format"`
 	Name     string `json:"name"`
 	Skeleton string `json:"skeleton"`
 	RMode    string `json:"rmode"`
+	Shards   int    `json:"shards,omitempty"`
 }
 
 // NewDurableRegistry returns a registry whose sessions persist to
@@ -84,6 +87,7 @@ func NewDurableRegistry(opts DurableOptions) (*Registry, error) {
 	}
 	r := NewRegistry()
 	r.durable = &opts
+	r.committer = wal.NewCommitter()
 	return r, nil
 }
 
@@ -140,7 +144,7 @@ func syncDir(dir string) error {
 // along with the directories, so a machine crash cannot leave torn
 // metadata behind a successful Create), and opens an empty WAL. Called
 // with the session's name reserved in the registry but no lock held.
-func (s *Session) initDurable(opts *DurableOptions) error {
+func (s *Session) initDurable(opts *DurableOptions, committer *wal.Committer) error {
 	dir := filepath.Join(opts.Dir, s.name)
 	if _, err := os.Stat(dir); err == nil {
 		return fmt.Errorf("service: session data already exists at %s (restore or remove it)", dir)
@@ -165,6 +169,7 @@ func (s *Session) initDurable(opts *DurableOptions) error {
 		Name:     s.name,
 		Skeleton: s.cfg.Skeleton.String(),
 		RMode:    s.cfg.Mode.String(),
+		Shards:   s.cfg.Shards,
 	}, "", "  ")
 	if err == nil {
 		err = writeFileSync(filepath.Join(dir, metaFile), func(f *os.File) error {
@@ -188,15 +193,16 @@ func (s *Session) initDurable(opts *DurableOptions) error {
 		cleanup()
 		return fmt.Errorf("service: %w: %v", ErrDurability, err)
 	}
-	s.attachWAL(dir, log, opts)
+	s.attachWAL(dir, log, opts, committer)
 	return nil
 }
 
 // attachWAL flips the session into durable mode.
-func (s *Session) attachWAL(dir string, log *wal.Log, opts *DurableOptions) {
+func (s *Session) attachWAL(dir string, log *wal.Log, opts *DurableOptions, committer *wal.Committer) {
 	s.durable = true
 	s.dir = dir
 	s.wal = log
+	s.committer = committer
 	s.snapEvery = int64(opts.SnapshotEvery)
 }
 
@@ -216,39 +222,48 @@ func (s *Session) logRecord(rec wal.Record) error {
 	return nil
 }
 
-// finishBatch makes the batch's logged events durable and takes a
-// label snapshot when one is due. Called with ingestMu held, on both
-// the success and the partial-batch path (the applied prefix is
-// acknowledged either way).
-func (s *Session) finishBatch() error {
-	if s.wal == nil || s.ioErr != nil {
-		return s.ioErr
+// commitWAL makes everything appended to the log up to seq durable —
+// flushed, and fsynced as the registry is configured — before the
+// batch is acknowledged. The flush goes through the registry's group
+// committer (attachWAL always wires one: only durable registries open
+// WALs, and every durable registry owns a committer), so it coalesces
+// with concurrent batches — one disk round-trip covers every batch
+// that queued behind it. Called without ingestMu: a commit in flight
+// must not block the next batch from labeling and logging. A commit
+// failure poisons the session.
+func (s *Session) commitWAL(log *wal.Log, seq int64) error {
+	err := s.committer.Commit(log, seq)
+	if err == nil {
+		return nil
 	}
-	if err := s.wal.Flush(); err != nil {
-		s.ioErr = fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
-		return s.ioErr
+	werr := fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
+	s.ingestMu.Lock()
+	if s.ioErr == nil {
+		s.ioErr = werr
 	}
-	s.maybeSnapshot()
-	return nil
+	s.ingestMu.Unlock()
+	return werr
 }
 
 // maybeSnapshot starts a label snapshot if enough events accumulated
 // since the last one and none is in flight. The consistent view —
-// label map plus event watermark — is captured synchronously under
-// ingestMu (labels are write-once, so the map copy is all it takes);
-// the file write and fsync, which grow with session size, run in a
-// goroutine off the ingest path. Failures are not fatal — the WAL
+// label map plus event watermark — is captured under ingestMu: the
+// published store holds exactly the logged event prefix whenever the
+// ingest lock is free, so the watermark and the lock-free map snapshot
+// agree. The file write and fsync, which grow with session size, run
+// in a goroutine off the ingest path. Failures are not fatal — the WAL
 // alone is always sufficient for recovery — and are retried at a later
-// batch because the watermark does not advance.
+// batch because the watermark does not advance. Called after a
+// successful commit, without ingestMu held.
 func (s *Session) maybeSnapshot() {
-	if s.snapEvery <= 0 || s.walEvents-s.snapEvents < s.snapEvery || s.snapBusy {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.wal == nil || s.snapEvery <= 0 || s.walEvents-s.snapEvents < s.snapEvery || s.snapBusy {
 		return
 	}
 	s.snapBusy = true
 	events := s.walEvents
-	s.storeMu.RLock()
 	labels := s.store.Snapshot()
-	s.storeMu.RUnlock()
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
@@ -403,6 +418,10 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad %s: %w", metaFile, err)
 	}
+	if meta.Shards < 0 {
+		return nil, fmt.Errorf("bad %s: negative shard count %d", metaFile, meta.Shards)
+	}
+	cfg.Shards = meta.Shards
 
 	sf, err := os.Open(filepath.Join(sdir, specFile))
 	if err != nil {
@@ -423,7 +442,7 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		g:       g,
 		cfg:     cfg,
 		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
-		store:   store.New(g, cfg.Skeleton),
+		store:   store.NewSharded(g, cfg.Skeleton, r.shardsFor(cfg)),
 	}
 
 	walPath := filepath.Join(sdir, walFile)
@@ -446,7 +465,9 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 
 	// Second pass: replay. Every record rebuilds labeler state; the
 	// label bytes come from the snapshot where it applies and from
-	// re-encoding beyond it.
+	// re-encoding beyond it. Labels are staged as they replay and
+	// published once at the end — one view rebuild for the whole log
+	// instead of one per record.
 	replayed, validSize, err := wal.Scan(walPath, func(i int, rec wal.Record) error {
 		var (
 			v graph.VertexID
@@ -463,20 +484,13 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		if ierr != nil {
 			return fmt.Errorf("%w at record %d: %v", errReplayHalt, i, ierr)
 		}
-		if enc, ok := snap.Labels[v]; ok && int64(i) < snap.Events {
-			// ReadSnapshot allocated enc for us alone: hand it over
-			// without another copy.
-			s.storeMu.Lock()
-			perr := s.store.PutEncodedOwned(v, enc)
-			s.storeMu.Unlock()
-			if perr != nil {
-				return perr
-			}
-			s.vertices.Add(1)
-			return nil
+		enc, ok := snap.Labels[v]
+		if !ok || int64(i) >= snap.Events {
+			enc = s.store.Encode(l)
 		}
-		s.publish(v, l)
-		return nil
+		// Snapshot bytes: ReadSnapshot allocated enc for us alone, so it
+		// is handed over without another copy.
+		return s.store.StageOwned(v, enc)
 	})
 	if errors.Is(err, errReplayHalt) {
 		err = nil // keep the valid prefix, truncate the rest below
@@ -484,6 +498,8 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.store.Publish()
+	s.vertices.Store(int64(s.store.Count()))
 	s.walEvents = int64(replayed)
 	if snap.Events <= s.walEvents {
 		s.snapEvents = snap.Events
@@ -501,7 +517,7 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.attachWAL(sdir, log, r.durable)
+		s.attachWAL(sdir, log, r.durable, r.committer)
 	}
 	return s, nil
 }

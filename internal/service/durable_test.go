@@ -2,11 +2,14 @@ package service
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
@@ -154,8 +157,6 @@ func TestDurableNamedEvents(t *testing.T) {
 
 // storeBytes snapshots a session's encoded labels for comparison.
 func storeBytes(s *Session) map[int32][]byte {
-	s.storeMu.RLock()
-	defer s.storeMu.RUnlock()
 	out := make(map[int32][]byte)
 	for v, enc := range s.store.Snapshot() {
 		out[int32(v)] = enc
@@ -426,6 +427,152 @@ func TestDurableDeleteRemovesData(t *testing.T) {
 		t.Fatalf("restored %v, want only the recreated empty session", restored)
 	}
 	s2, _ := reg2.Get("tmp")
+	if s2.Vertices() != 0 {
+		t.Fatalf("deleted session's events came back: %d vertices", s2.Vertices())
+	}
+}
+
+// TestDurableShardsRoundTrip checks a session's configured shard
+// count survives restart: session.json records it, and Restore
+// rebuilds the store with it rather than the registry default.
+func TestDurableShardsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "RunningExample")
+	events, _ := genEvents(t, g, 100, 4)
+
+	reg := durableReg(t, dir, DurableOptions{})
+	s, err := reg.Create("tuned", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 40)
+	reg.Close()
+
+	reg2 := durableReg(t, dir, DurableOptions{})
+	reg2.SetDefaultShards(2) // must NOT win over the persisted count
+	if _, err := reg2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := reg2.Get("tuned")
+	if got := len(s2.Stats().Shards); got != 64 {
+		t.Fatalf("restored session has %d shards, want the persisted 64", got)
+	}
+}
+
+// TestDurableDeleteRacesIngestAndQueries deletes a durable session
+// while a writer streams batches into it and readers query it (run
+// with -race). Delete closes the WAL, so the writer's ingest is
+// allowed to start failing with ErrDurability at any point after the
+// delete — but must never fail before it, never crash, and the
+// already-published prefix must stay queryable. The data directory
+// must be gone when Delete returns and the name immediately reusable.
+func TestDurableDeleteRacesIngestAndQueries(t *testing.T) {
+	dir := t.TempDir()
+	g := compileBuiltin(t, "BioAID")
+	events, r := genEvents(t, g, 1500, 37)
+
+	reg := durableReg(t, dir, DurableOptions{SnapshotEvery: 64})
+	s, err := reg.Create("doomed", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 32
+	watermark := new(atomic.Int64)
+	deleteAsked := new(atomic.Bool)
+	deleted := make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: streams until done or the delete poisons ingest
+		defer wg.Done()
+		defer close(done)
+		for lo := 0; lo < len(events); lo += batch {
+			hi := min(lo+batch, len(events))
+			n, err := s.Append(events[lo:hi])
+			if err != nil {
+				if !deleteAsked.Load() {
+					t.Errorf("append failed before the delete: %v", err)
+				} else if !errors.Is(err, ErrDurability) {
+					t.Errorf("append after delete failed with %v, want ErrDurability", err)
+				}
+				watermark.Add(int64(n))
+				return
+			}
+			watermark.Store(int64(hi))
+		}
+	}()
+
+	for ri := 0; ri < 3; ri++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 300; q++ {
+				wm := watermark.Load()
+				if wm < 2 {
+					q--
+					continue
+				}
+				v := events[rng.Int63n(wm)].V
+				w := events[rng.Int63n(wm)].V
+				got, err := s.Reach(v, w)
+				if err != nil {
+					t.Errorf("reach(%d,%d): %v", v, w, err)
+					return
+				}
+				if want := r.Graph.Reaches(v, w); got != want {
+					t.Errorf("reach(%d,%d)=%v, want %v", v, w, got, want)
+					return
+				}
+			}
+		}(int64(ri))
+	}
+
+	wg.Add(1)
+	go func() { // deleter: fires mid-stream
+		defer wg.Done()
+		defer close(deleted)
+		for watermark.Load() < 5*batch {
+			select {
+			case <-done:
+				return
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		deleteAsked.Store(true)
+		if !reg.Delete("doomed") {
+			t.Error("Delete(doomed) = false")
+		}
+	}()
+
+	<-deleted
+	// The on-disk state is gone and the name reusable the moment Delete
+	// returns, even while the detached session object may still be
+	// ingesting or failing over to ErrDurability.
+	if _, err := os.Stat(filepath.Join(dir, "doomed")); !os.IsNotExist(err) {
+		t.Errorf("session directory survived delete: %v", err)
+	}
+	if _, err := reg.Create("doomed", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}); err != nil {
+		t.Fatalf("recreate during in-flight ingest: %v", err)
+	}
+	<-done
+	wg.Wait()
+
+	// The deleted session is not resurrected by Restore; only the
+	// recreated (empty) one comes back.
+	reg.Close()
+	reg2 := durableReg(t, dir, DurableOptions{})
+	restored, err := reg2.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0] != "doomed" {
+		t.Fatalf("restored %v, want only the recreated session", restored)
+	}
+	s2, _ := reg2.Get("doomed")
 	if s2.Vertices() != 0 {
 		t.Fatalf("deleted session's events came back: %d vertices", s2.Vertices())
 	}

@@ -29,7 +29,7 @@ import (
 // Create accepts either a JSON body (CreateRequest: a built-in spec
 // name or an inline spec XML string) or a raw XML specification with
 // Content-Type application/xml and the session options in query
-// parameters (?name=...&skeleton=TCL&rmode=designated).
+// parameters (?name=...&skeleton=TCL&rmode=designated&shards=16).
 
 // WireEvent is the JSON form of one execution event. Exactly one of
 // (Graph, Vertex) or Name identifies the executed specification
@@ -85,6 +85,9 @@ type CreateRequest struct {
 	// (default) or "none".
 	Skeleton string `json:"skeleton,omitempty"`
 	RMode    string `json:"rmode,omitempty"`
+	// Shards is the session store's shard count; zero picks the
+	// server's default.
+	Shards int `json:"shards,omitempty"`
 }
 
 // EventsRequest is the JSON body of POST /v1/sessions/{name}/events.
@@ -196,7 +199,16 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q := r.URL.Query()
-		createSession(reg, w, q.Get("name"), s, q.Get("skeleton"), q.Get("rmode"))
+		shards := 0
+		if qs := q.Get("shards"); qs != "" {
+			n, err := strconv.Atoi(qs)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("shards wants a non-negative integer, got %q", qs))
+				return
+			}
+			shards = n
+		}
+		createSession(reg, w, q.Get("name"), s, q.Get("skeleton"), q.Get("rmode"), shards)
 		return
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -225,12 +237,16 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("one of builtin or spec_xml is required"))
 		return
 	}
-	createSession(reg, w, req.Name, sp, req.Skeleton, req.RMode)
+	createSession(reg, w, req.Name, sp, req.Skeleton, req.RMode, req.Shards)
 }
 
-func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.Spec, skelName, modeName string) {
+func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.Spec, skelName, modeName string, shards int) {
 	if name == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("session name is required"))
+		return
+	}
+	if shards < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shards must be non-negative, got %d", shards))
 		return
 	}
 	if reg.Durable() {
@@ -246,6 +262,7 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	cfg.Shards = shards
 	g, err := spec.Compile(sp)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

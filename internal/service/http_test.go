@@ -334,3 +334,84 @@ func TestHTTPStreamingE2E(t *testing.T) {
 	t.Logf("streamed %d vertices in %d-event batches, %d interleaved queries verified",
 		len(events), batch, queries.Load())
 }
+
+// TestHTTPShardsParameter covers the shards field on both create
+// forms and its surfacing in stats.
+func TestHTTPShardsParameter(t *testing.T) {
+	srv := newTestServer(t)
+
+	var st Stats
+	code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "sharded", Builtin: "RunningExample", Shards: 8}, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	if len(st.Shards) != 8 {
+		t.Fatalf("stats report %d shards, want 8", len(st.Shards))
+	}
+
+	// Raw-XML create with ?shards=.
+	var xml bytes.Buffer
+	if err := wfxml.EncodeSpec(&xml, wfspecs.RunningExample()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sessions?name=xmlsharded&shards=2", "application/xml", &xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("xml create: %d", resp.StatusCode)
+	}
+	if len(st2.Shards) != 2 {
+		t.Fatalf("xml create: %d shards, want 2", len(st2.Shards))
+	}
+
+	// Bad shard values are client errors.
+	code, _ = doJSON(t, "POST", srv.URL+"/v1/sessions",
+		CreateRequest{Name: "bad", Builtin: "RunningExample", Shards: -1}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative shards: %d, want 400", code)
+	}
+	resp, err = http.Post(srv.URL+"/v1/sessions?name=bad2&shards=zap", "application/xml",
+		strings.NewReader("<spec/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage shards: %d, want 400", resp.StatusCode)
+	}
+
+	// Ingest + query still behave on a sharded session, and the
+	// publish epoch advances.
+	g := compileBuiltin(t, "RunningExample")
+	events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]WireEvent, len(events))
+	for i, ev := range events {
+		wire[i] = ToWire(ev)
+	}
+	code, raw = doJSON(t, "POST", srv.URL+"/v1/sessions/sharded/events",
+		EventsRequest{Events: wire}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("events: %d %s", code, raw)
+	}
+	doJSON(t, "GET", srv.URL+"/v1/sessions/sharded", nil, &st)
+	if st.PublishEpoch == 0 || st.Vertices != int64(len(events)) {
+		t.Fatalf("stats after ingest: %+v", st)
+	}
+	sum := 0
+	for _, sh := range st.Shards {
+		sum += sh.Vertices
+	}
+	if sum != len(events) {
+		t.Fatalf("shard counts sum to %d, want %d", sum, len(events))
+	}
+}

@@ -10,28 +10,32 @@
 // # Concurrency discipline
 //
 // The labeler is single-writer (see internal/core): a session
-// serializes event ingestion under an ingest mutex. Every label the
-// labeler issues is immediately copied, encoded, into the session's
-// store under a short write lock; reads (reachability, lineage,
-// stats) take the corresponding read lock only to fetch the encoded
-// bytes and answer from those bytes outside the lock — labels are
-// immutable (Section 2.4), so a completed vertex's query never blocks
-// on ingest for longer than one map access. The registry itself is a
-// plain RWMutex-guarded name map; sessions are independent, so
-// ingestion into one session never contends with queries on another.
+// serializes event ingestion under an ingest mutex, and ingest runs as
+// a pipeline — label the batch, encode each label, tee each event to
+// the write-ahead log, stage the encoded labels into the sharded store
+// grouped by shard, and publish once per batch. The store (see
+// internal/store) owns its own synchronization: published labels live
+// in per-shard immutable views behind atomic pointers, so the query
+// path (Reach, Lineage, Stats) acquires no mutex at all — labels are
+// immutable (Section 2.4), and a published view is never mutated. On a
+// durable registry, batch durability is acknowledged through a
+// cross-session group committer: one flush/fsync per log is amortized
+// over every batch that queued while the previous flush was on the
+// disk. The registry itself is a plain RWMutex-guarded name map;
+// sessions are independent, so ingestion into one session never
+// contends with queries on another.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
-	"wfreach/internal/label"
 	"wfreach/internal/run"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
@@ -46,7 +50,15 @@ type Config struct {
 	Skeleton skeleton.Kind
 	// Mode is the recursion-compression mode.
 	Mode core.RMode
+	// Shards is the session store's shard count (rounded up to a power
+	// of two). Zero uses the registry default, or the store default if
+	// the registry has none.
+	Shards int
 }
+
+// ShardStat mirrors store.ShardStat on the stats API: one shard's
+// published vertex count and view publish epoch.
+type ShardStat = store.ShardStat
 
 // Stats is a point-in-time snapshot of one session. Vertices counts
 // every labeled vertex, including those recovered by Restore; Batches
@@ -69,6 +81,12 @@ type Stats struct {
 	LabelBits int `json:"label_bits"`
 	// SkeletonBits is the size of the shared skeleton labeling.
 	SkeletonBits int `json:"skeleton_bits"`
+	// PublishEpoch counts the store publishes that made new labels
+	// visible to the query path (roughly: batches, plus restores).
+	PublishEpoch int64 `json:"publish_epoch"`
+	// Shards reports each store shard's published vertex count and
+	// view epoch, in shard order.
+	Shards []ShardStat `json:"shards,omitempty"`
 	// Durable reports whether the session persists its events to a
 	// write-ahead log (see NewDurableRegistry).
 	Durable bool `json:"durable,omitempty"`
@@ -85,23 +103,23 @@ type Session struct {
 	ingestMu sync.Mutex
 	labeler  *core.ExecutionLabeler
 
-	// storeMu guards the store's vertex map. The encoded label bytes it
-	// holds are write-once, so readers only need the lock for the map
-	// lookup itself.
-	storeMu sync.RWMutex
-	store   *store.Store
+	// store holds the encoded labels and owns its own synchronization:
+	// writes are staged under per-shard mutexes and published per
+	// batch; reads are lock-free against immutable shard views.
+	store *store.Store
 
-	vertices atomic.Int64 // labeled vertices, readable without locks
+	vertices atomic.Int64 // published vertices, readable without locks
 	batches  atomic.Int64
 
 	// Durable state (see durable.go); all but the immutable durable
-	// flag and dir are guarded by ingestMu. A nil wal on a durable
-	// session means its log was closed or poisoned.
+	// flag, dir and committer are guarded by ingestMu. A nil wal on a
+	// durable session means its log was closed or poisoned.
 	durable    bool
 	dir        string
 	wal        *wal.Log
-	walEvents  int64 // events appended to the log
-	snapEvents int64 // events covered by the last snapshot
+	committer  *wal.Committer // registry-wide group committer; nil on memory-only restore
+	walEvents  int64          // events appended to the log
+	snapEvents int64          // events covered by the last snapshot
 	snapEvery  int64
 	snapBusy   bool           // a snapshot write is in flight
 	snapWG     sync.WaitGroup // tracks the in-flight snapshot goroutine
@@ -119,11 +137,35 @@ type Registry struct {
 	// name collide without holding mu across disk I/O.
 	creating map[string]bool
 	durable  *DurableOptions // nil: memory-only
+	// committer is the cross-session WAL group committer (durable
+	// registries only).
+	committer *wal.Committer
+	// defaultShards is the store shard count for sessions whose Config
+	// leaves Shards zero; zero means the store default.
+	defaultShards atomic.Int64
 }
 
 // NewRegistry returns an empty session registry.
 func NewRegistry() *Registry {
 	return &Registry{sessions: make(map[string]*Session), creating: make(map[string]bool)}
+}
+
+// SetDefaultShards sets the store shard count used by sessions whose
+// Config leaves Shards zero. Zero restores the store default; the
+// count applies to sessions created or restored afterwards.
+func (r *Registry) SetDefaultShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.defaultShards.Store(int64(n))
+}
+
+// shardsFor resolves the effective shard count for a session config.
+func (r *Registry) shardsFor(cfg Config) int {
+	if cfg.Shards > 0 {
+		return cfg.Shards
+	}
+	return int(r.defaultShards.Load())
 }
 
 // Create opens a new session over the grammar. The name must be
@@ -148,7 +190,7 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 		g:       g,
 		cfg:     cfg,
 		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
-		store:   store.New(g, cfg.Skeleton),
+		store:   store.NewSharded(g, cfg.Skeleton, r.shardsFor(cfg)),
 	}
 	r.mu.Lock()
 	if _, dup := r.sessions[name]; dup || r.creating[name] {
@@ -164,7 +206,7 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 	// so a slow disk never stalls queries on other sessions.
 	r.creating[name] = true
 	r.mu.Unlock()
-	err := s.initDurable(r.durable)
+	err := s.initDurable(r.durable, r.committer)
 	r.mu.Lock()
 	delete(r.creating, name)
 	if err == nil {
@@ -224,7 +266,7 @@ func (r *Registry) Names() []string {
 	for n := range r.sessions {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -247,136 +289,150 @@ func (s *Session) Grammar() *spec.Grammar { return s.g }
 // ingested and queryable (event streams are append-only, so a partial
 // prefix is still a valid partial execution).
 //
-// On a durable session each event is teed to the write-ahead log
-// after it labels successfully and before it becomes queryable, and
-// the log is flushed before Append returns — an acknowledged batch is
-// recoverable. A log write failure permanently stops ingestion on the
-// session (its in-memory state has outrun what disk can reproduce);
-// queries keep working.
+// Ingest is pipelined: the batch is labeled and encoded under the
+// ingest lock, teed event by event to the write-ahead log, staged into
+// the store grouped by shard, and published — made visible to the
+// lock-free query path — once, at the end of the batch. On a durable
+// session the applied prefix is then committed (flushed, and fsynced
+// as configured) before Append returns, through the registry's group
+// committer so concurrent batches share one flush — an acknowledged
+// batch is recoverable. A log write failure permanently stops
+// ingestion on the session (its in-memory state has outrun what disk
+// can reproduce); queries keep working.
 func (s *Session) Append(events []run.Event) (int, error) {
 	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
 	if s.ioErr != nil {
+		s.ingestMu.Unlock()
 		return 0, s.ioErr
 	}
+	staged := make([]store.Entry, 0, len(events))
+	applied := len(events)
+	var err error
 	for i := range events {
-		l, err := s.labeler.Insert(events[i])
-		if err != nil {
-			err = fmt.Errorf("service: %w", err)
-			// The applied prefix is acknowledged: make it durable, and
-			// surface a failure to do so alongside the labeler error.
-			if ferr := s.finishBatch(); ferr != nil {
-				err = errors.Join(err, ferr)
-			}
-			return i, err
+		l, lerr := s.labeler.Insert(events[i])
+		if lerr != nil {
+			applied, err = i, fmt.Errorf("service: %w", lerr)
+			break
 		}
-		if err := s.logRecord(wal.RefRecord(events[i])); err != nil {
-			return i, err
+		if werr := s.logRecord(wal.RefRecord(events[i])); werr != nil {
+			// The log is poisoned and the batch unacknowledged; the
+			// logged prefix still becomes queryable.
+			s.publishStaged(staged)
+			s.ingestMu.Unlock()
+			return i, werr
 		}
-		s.publish(events[i].V, l)
+		staged = append(staged, store.Entry{V: events[i].V, Enc: s.store.Encode(l)})
 	}
-	s.batches.Add(1)
-	return len(events), s.finishBatch()
+	return s.finishLocked(applied, staged, err)
 }
 
 // AppendNamed ingests a batch of name-identified events (the Section
-// 5.3 naming-restriction setting), with Append's partial-batch and
-// durability semantics.
+// 5.3 naming-restriction setting), with Append's pipeline,
+// partial-batch and durability semantics.
 func (s *Session) AppendNamed(events []core.NamedEvent) (int, error) {
 	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
 	if s.ioErr != nil {
+		s.ingestMu.Unlock()
 		return 0, s.ioErr
 	}
+	staged := make([]store.Entry, 0, len(events))
+	applied := len(events)
+	var err error
 	for i := range events {
-		l, err := s.labeler.InsertNamed(events[i])
-		if err != nil {
-			err = fmt.Errorf("service: %w", err)
-			if ferr := s.finishBatch(); ferr != nil {
-				err = errors.Join(err, ferr)
-			}
-			return i, err
+		l, lerr := s.labeler.InsertNamed(events[i])
+		if lerr != nil {
+			applied, err = i, fmt.Errorf("service: %w", lerr)
+			break
 		}
-		if err := s.logRecord(wal.NamedRecord(events[i])); err != nil {
-			return i, err
+		if werr := s.logRecord(wal.NamedRecord(events[i])); werr != nil {
+			s.publishStaged(staged)
+			s.ingestMu.Unlock()
+			return i, werr
 		}
-		s.publish(events[i].V, l)
+		staged = append(staged, store.Entry{V: events[i].V, Enc: s.store.Encode(l)})
 	}
-	s.batches.Add(1)
-	return len(events), s.finishBatch()
+	return s.finishLocked(applied, staged, err)
 }
 
-// publish copies a freshly issued label to the read side. Called with
-// ingestMu held; encodes outside the store lock and takes the write
-// lock only for the map insert, so readers are never blocked behind
-// label encoding. The freshly encoded slice is handed over without a
-// defensive copy — nothing else ever sees it.
-func (s *Session) publish(v graph.VertexID, l label.Label) {
-	enc := s.store.Encode(l)
-	s.storeMu.Lock()
-	err := s.store.PutEncodedOwned(v, enc)
-	s.storeMu.Unlock()
-	if err != nil {
+// publishStaged appends the batch's encoded labels to the store
+// shard-grouped and publishes them — the single point where a batch
+// becomes visible to the lock-free query path. Called with ingestMu
+// held, so under the ingest lock the published store always holds
+// exactly the applied event prefix.
+func (s *Session) publishStaged(staged []store.Entry) {
+	if len(staged) == 0 {
+		return
+	}
+	if err := s.store.AppendOwned(staged); err != nil {
 		// Unreachable: the labeler already rejects duplicate vertices.
 		panic(err)
 	}
-	s.vertices.Add(1)
+	s.store.Publish()
+	s.vertices.Add(int64(len(staged)))
 }
 
-// Reach answers v ;* w from the encoded labels alone. Both vertices
-// must already be labeled; querying a vertex the session has not seen
-// yet is an error (the caller cannot distinguish "not reachable" from
-// "not yet executed" — the paper's partial-run semantics make that the
-// caller's call to retry).
+// finishLocked publishes the applied prefix, releases the ingest lock,
+// and acknowledges durability for everything logged so far (both the
+// success and the partial-batch path ack the applied prefix). Called
+// with ingestMu held; returns with it released.
+func (s *Session) finishLocked(applied int, staged []store.Entry, err error) (int, error) {
+	s.publishStaged(staged)
+	if err == nil {
+		s.batches.Add(1)
+	}
+	log := s.wal
+	var seq int64
+	if log != nil {
+		seq = log.AppendSeq()
+	}
+	s.ingestMu.Unlock()
+	if log != nil {
+		if cerr := s.commitWAL(log, seq); cerr != nil {
+			if err == nil {
+				return applied, cerr
+			}
+			return applied, errors.Join(err, cerr)
+		}
+		s.maybeSnapshot()
+	}
+	return applied, err
+}
+
+// Reach answers v ;* w from the encoded labels alone, without taking
+// any lock. Both vertices must already be labeled; querying a vertex
+// the session has not seen yet is an error (the caller cannot
+// distinguish "not reachable" from "not yet executed" — the paper's
+// partial-run semantics make that the caller's call to retry).
 func (s *Session) Reach(v, w graph.VertexID) (bool, error) {
-	s.storeMu.RLock()
 	bv, okv := s.store.GetRaw(v)
 	bw, okw := s.store.GetRaw(w)
-	s.storeMu.RUnlock()
 	if !okv {
 		return false, fmt.Errorf("service: vertex %d not labeled yet", v)
 	}
 	if !okw {
 		return false, fmt.Errorf("service: vertex %d not labeled yet", w)
 	}
-	// Decode and evaluate π outside the lock: the bytes are write-once.
 	return s.store.ReachBytes(bv, bw)
 }
 
 // Lineage returns the labeled vertices that reach v (its provenance
-// closure so far), ascending. The read lock is held only to snapshot
-// the encoded-label map; the O(labeled) decode-and-π scan runs
-// outside it, so a lineage query never stalls ingestion.
+// closure so far), ascending. The whole scan — decode the target once,
+// decode-and-π every published label — runs against the store's
+// immutable shard views, so a lineage query never takes a lock and
+// never stalls ingestion.
 func (s *Session) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
-	s.storeMu.RLock()
-	bv, ok := s.store.GetRaw(v)
-	snap := s.store.Snapshot()
-	s.storeMu.RUnlock()
-	if !ok {
+	out, err := s.store.Lineage(v)
+	if err != nil {
 		return nil, fmt.Errorf("service: vertex %d not labeled yet", v)
 	}
-	var out []graph.VertexID
-	for w, bw := range snap {
-		reaches, err := s.store.ReachBytes(bw, bv)
-		if err != nil {
-			return nil, err
-		}
-		if reaches {
-			out = append(out, w)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 
 // Vertices returns the number of labeled vertices, without locking.
 func (s *Session) Vertices() int64 { return s.vertices.Load() }
 
-// Stats snapshots the session.
+// Stats snapshots the session without taking any lock.
 func (s *Session) Stats() Stats {
-	s.storeMu.RLock()
-	bits := s.store.Bits()
-	s.storeMu.RUnlock()
 	return Stats{
 		Name:         s.name,
 		Class:        s.g.Class().String(),
@@ -384,8 +440,10 @@ func (s *Session) Stats() Stats {
 		Mode:         s.cfg.Mode.String(),
 		Vertices:     s.vertices.Load(),
 		Batches:      s.batches.Load(),
-		LabelBits:    bits,
+		LabelBits:    s.store.Bits(),
 		SkeletonBits: s.labeler.Skeleton().Bits(),
+		PublishEpoch: s.store.Epoch(),
+		Shards:       s.store.ShardStats(),
 		Durable:      s.durable,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
@@ -278,6 +279,146 @@ func TestConcurrentIngestQuery(t *testing.T) {
 		t.Fatal("no concurrent queries executed")
 	}
 	t.Logf("%d concurrent queries verified against the oracle", queries.Load())
+}
+
+// TestStatsShards checks the per-shard stats surface: the configured
+// shard count is honored, shard counts sum to the vertex total, and
+// the publish epoch tracks batches.
+func TestStatsShards(t *testing.T) {
+	g := compileBuiltin(t, "BioAID")
+	events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: 400, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	s, err := reg.Create("sh", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 100
+	for lo := 0; lo < len(events); lo += batch {
+		hi := min(lo+batch, len(events))
+		if _, err := s.Append(events[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats report %d shards, want 4", len(st.Shards))
+	}
+	sum := 0
+	for _, sh := range st.Shards {
+		sum += sh.Vertices
+	}
+	if int64(sum) != st.Vertices || st.Vertices != int64(len(events)) {
+		t.Fatalf("shard counts sum to %d, vertices %d, events %d", sum, st.Vertices, len(events))
+	}
+	if want := int64((len(events) + batch - 1) / batch); st.PublishEpoch != want {
+		t.Fatalf("publish epoch %d, want %d (one per batch)", st.PublishEpoch, want)
+	}
+
+	// The registry default applies when the config leaves Shards zero.
+	reg.SetDefaultShards(2)
+	s2, err := reg.Create("sh2", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Stats().Shards); got != 2 {
+		t.Fatalf("default shard count not applied: %d shards", got)
+	}
+}
+
+// TestDeleteRacesIngestAndQueries deletes a session while a writer is
+// streaming batches into it and readers are querying it (run with
+// -race). In-flight operations must finish normally — the session just
+// stops being reachable by name — and the name must be reusable
+// immediately.
+func TestDeleteRacesIngestAndQueries(t *testing.T) {
+	g := compileBuiltin(t, "BioAID")
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 1500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	s, err := reg.Create("doomed", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 32
+	watermark := new(atomic.Int64)
+	deleted := make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: keeps appending straight through the delete
+		defer wg.Done()
+		defer close(done)
+		for lo := 0; lo < len(events); lo += batch {
+			hi := min(lo+batch, len(events))
+			if _, err := s.Append(events[lo:hi]); err != nil {
+				t.Errorf("append after delete must still work (memory session): %v", err)
+				return
+			}
+			watermark.Store(int64(hi))
+		}
+	}()
+
+	for ri := 0; ri < 3; ri++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 300; q++ {
+				wm := watermark.Load()
+				if wm < 2 {
+					q--
+					continue
+				}
+				v := events[rng.Int63n(wm)].V
+				w := events[rng.Int63n(wm)].V
+				got, err := s.Reach(v, w)
+				if err != nil {
+					t.Errorf("reach(%d,%d): %v", v, w, err)
+					return
+				}
+				if want := r.Graph.Reaches(v, w); got != want {
+					t.Errorf("reach(%d,%d)=%v, want %v", v, w, got, want)
+					return
+				}
+			}
+		}(int64(ri))
+	}
+
+	wg.Add(1)
+	go func() { // deleter: fires mid-stream
+		defer wg.Done()
+		defer close(deleted)
+		for watermark.Load() < 5*batch {
+			select {
+			case <-done:
+				return // the writer died early; the test already failed
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		if !reg.Delete("doomed") {
+			t.Error("Delete(doomed) = false")
+		}
+	}()
+
+	<-deleted
+	// The name is free for reuse the moment Delete returns, while the
+	// old session object is still ingesting.
+	if _, err := reg.Create("doomed", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}); err != nil {
+		t.Fatalf("recreate during in-flight ingest: %v", err)
+	}
+	<-done
+	wg.Wait()
+	if s.Vertices() != int64(len(events)) {
+		t.Fatalf("detached session lost events: %d of %d", s.Vertices(), len(events))
+	}
 }
 
 func TestBuiltins(t *testing.T) {

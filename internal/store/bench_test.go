@@ -1,0 +1,92 @@
+package store_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/graph"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/store"
+	"wfreach/internal/wfspecs"
+)
+
+// benchLabels generates a run and its encoded labels once per size.
+func benchLabels(b *testing.B, size int) (*spec.Grammar, []store.Entry) {
+	b.Helper()
+	g := spec.MustCompile(wfspecs.BioAID())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: size, Seed: 1})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := store.New(g, skeleton.TCL)
+	live := r.Graph.LiveVertices()
+	entries := make([]store.Entry, 0, len(live))
+	for _, v := range live {
+		entries = append(entries, store.Entry{V: v, Enc: s.Encode(d.MustLabel(v))})
+	}
+	return g, entries
+}
+
+// BenchmarkStoreBatchPublish measures the write path the service
+// ingest pipeline uses: stage a batch shard-grouped, publish once.
+func BenchmarkStoreBatchPublish(b *testing.B) {
+	const batch = 256
+	g, entries := benchLabels(b, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := store.New(g, skeleton.TCL)
+		for lo := 0; lo < len(entries); lo += batch {
+			hi := min(lo+batch, len(entries))
+			if err := s.AppendOwned(entries[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+			s.Publish()
+		}
+	}
+	b.ReportMetric(float64(len(entries)*b.N)/b.Elapsed().Seconds(), "labels/sec")
+}
+
+// BenchmarkStoreGetRaw measures the lock-free point lookup across
+// parallel readers on a fully published store.
+func BenchmarkStoreGetRaw(b *testing.B) {
+	g, entries := benchLabels(b, 8192)
+	s := store.New(g, skeleton.TCL)
+	if err := s.AppendOwned(entries); err != nil {
+		b.Fatal(err)
+	}
+	s.Publish()
+	vs := make([]graph.VertexID, len(entries))
+	for i, e := range entries {
+		vs[i] = e.V
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(3))
+		for pb.Next() {
+			if _, ok := s.GetRaw(vs[rng.Intn(len(vs))]); !ok {
+				b.Fail()
+			}
+		}
+	})
+}
+
+// BenchmarkStoreLineage measures the full provenance-closure scan
+// (decode target once, decode-and-π every stored label).
+func BenchmarkStoreLineage(b *testing.B) {
+	g, entries := benchLabels(b, 4096)
+	s := store.New(g, skeleton.TCL)
+	if err := s.AppendOwned(entries); err != nil {
+		b.Fatal(err)
+	}
+	s.Publish()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lineage(entries[i%len(entries)].V); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,11 +5,35 @@
 // log — labels are written once (they are immutable, Section 2.4) and
 // every "did A contribute to B?" question is answered by decoding two
 // byte strings, without the execution graph.
+//
+// # Concurrency
+//
+// The store owns its synchronization. It is split into N shards keyed
+// by an FNV-1a hash of the vertex id; each shard holds a small write
+// mutex, a pending set of staged-but-unpublished labels, and an
+// immutable read view behind an atomic pointer. Writers stage labels
+// under the shard mutex ([Store.StageOwned], [Store.AppendOwned]) and
+// make them visible with [Store.Publish], which freezes the pending
+// set as the newest chunk of the shard's view and republishes the
+// view pointer. Readers ([Store.GetRaw], [Store.Reach],
+// [Store.Lineage], [Store.Snapshot], stats) only ever load view
+// pointers: the query path acquires no locks, and because a published
+// view is never mutated, reads are race-free by construction.
+//
+// The single-put methods ([Store.Put], [Store.PutEncoded],
+// [Store.PutEncodedOwned]) stage and publish in one call, preserving
+// the read-your-writes behavior of a plain map for sequential callers;
+// batch writers (the service ingest pipeline, WAL replay) stage the
+// whole batch and publish once, so view rebuilding is amortized over
+// the batch.
 package store
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
@@ -18,63 +42,300 @@ import (
 	"wfreach/internal/spec"
 )
 
+// DefaultShards is the shard count used when New or NewSharded is
+// given zero. Sixteen shards keep publish copies small without
+// noticeable per-shard overhead at typical session sizes.
+const DefaultShards = 16
+
+// maxShards caps the shard count; more shards than this only adds
+// fixed overhead to Publish, Lineage and Snapshot.
+const maxShards = 4096
+
+// Entry is one vertex → encoded-label pair for batch staging.
+type Entry struct {
+	V   graph.VertexID
+	Enc []byte
+}
+
+// ShardStat describes one shard of the store.
+type ShardStat struct {
+	// Vertices is the number of published labels in the shard.
+	Vertices int `json:"vertices"`
+	// Epoch counts how many times the shard's read view has been
+	// republished.
+	Epoch int64 `json:"epoch"`
+}
+
+// shardView is a shard's published, immutable read state: a list of
+// frozen maps ("chunks") ordered largest (oldest) first, each vertex
+// in exactly one chunk. Publishing freezes the pending map as a new
+// chunk — no copying — and restores the geometric size invariant
+// (every chunk at least twice its successor) by merging tail chunks
+// into fresh maps, so a label is copied O(log n) times over the
+// store's lifetime, a lookup probes O(log n) maps in the worst case
+// and about two in expectation, and no published map is ever mutated.
+type shardView struct {
+	chunks []map[graph.VertexID][]byte
+}
+
+// get probes the chunks, largest first.
+func (sv *shardView) get(v graph.VertexID) ([]byte, bool) {
+	for _, m := range sv.chunks {
+		if enc, ok := m[v]; ok {
+			return enc, true
+		}
+	}
+	return nil, false
+}
+
+// shard is one partition of the vertex → label map. The mutex guards
+// only the pending (staged, unpublished) state; the view pointer is
+// written under the mutex but read lock-free.
+type shard struct {
+	mu          sync.Mutex
+	pending     map[graph.VertexID][]byte
+	pendingBits int
+	view        atomic.Pointer[shardView]
+	count       atomic.Int64 // published labels in this shard
+	epoch       atomic.Int64
+	// Pad shards apart so a writer bouncing one shard's mutex does not
+	// invalidate the cache line holding a neighbor's view pointer.
+	_ [64]byte
+}
+
 // Store holds encoded labels for one run.
 type Store struct {
-	codec *label.Codec
-	skel  *skeleton.Scheme
-	data  map[graph.VertexID][]byte
-	bits  int
+	codec  *label.Codec
+	skel   *skeleton.Scheme
+	shards []shard
+	mask   uint32
+	count  atomic.Int64 // published labels
+	bits   atomic.Int64 // published label bits
+	epoch  atomic.Int64 // global publish epoch
 }
 
-// New creates an empty store for runs of the grammar, answering
-// queries with the given skeleton scheme.
+// New creates an empty store for runs of the grammar with
+// DefaultShards shards, answering queries with the given skeleton
+// scheme.
 func New(g *spec.Grammar, kind skeleton.Kind) *Store {
-	return &Store{
-		codec: label.NewCodec(g),
-		skel:  skeleton.New(kind, g),
-		data:  make(map[graph.VertexID][]byte),
-	}
+	return NewSharded(g, kind, 0)
 }
 
-// Put encodes and stores the label of v. Labels are immutable: a
-// second Put for the same vertex is rejected.
+// NewSharded is New with an explicit shard count. The count is rounded
+// up to a power of two and clamped to [1, 4096]; zero selects
+// DefaultShards.
+func NewSharded(g *spec.Grammar, kind skeleton.Kind, shards int) *Store {
+	n := shardCount(shards)
+	s := &Store{
+		codec:  label.NewCodec(g),
+		skel:   skeleton.New(kind, g),
+		shards: make([]shard, n),
+		mask:   uint32(n - 1),
+	}
+	empty := &shardView{}
+	for i := range s.shards {
+		s.shards[i].pending = make(map[graph.VertexID][]byte)
+		s.shards[i].view.Store(empty)
+	}
+	return s
+}
+
+func shardCount(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex hashes a vertex id (FNV-1a over its four little-endian
+// bytes) to a shard index.
+func (s *Store) shardIndex(v graph.VertexID) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	x := uint32(v)
+	for i := 0; i < 4; i++ {
+		h ^= x & 0xff
+		h *= prime32
+		x >>= 8
+	}
+	return int(h & s.mask)
+}
+
+func (s *Store) shardOf(v graph.VertexID) *shard {
+	return &s.shards[s.shardIndex(v)]
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Put encodes, stores and publishes the label of v. Labels are
+// immutable: a second Put for the same vertex is rejected.
 func (s *Store) Put(v graph.VertexID, l label.Label) error {
 	return s.PutEncodedOwned(v, s.codec.Encode(l))
 }
 
 // Encode encodes a label with the store's codec without storing it.
-// The codec is immutable, so Encode is safe to call concurrently —
-// writers use it to encode outside the lock that guards PutEncoded.
+// The codec is immutable, so Encode is safe to call concurrently.
 func (s *Store) Encode(l label.Label) []byte { return s.codec.Encode(l) }
 
-// PutEncoded stores already-encoded label bytes for v, rejecting
-// duplicates. The bytes are copied on insert, so the caller keeps
-// ownership of enc and may reuse it — a caller feeding the store from
-// a shared read buffer must not be able to mutate a stored label
-// after the fact (labels are write-once).
+// PutEncoded stores already-encoded label bytes for v and publishes
+// them, rejecting duplicates. The bytes are copied on insert, so the
+// caller keeps ownership of enc and may reuse it — a caller feeding
+// the store from a shared read buffer must not be able to mutate a
+// stored label after the fact (labels are write-once).
 func (s *Store) PutEncoded(v graph.VertexID, enc []byte) error {
 	own := make([]byte, len(enc))
 	copy(own, enc)
 	return s.PutEncodedOwned(v, own)
 }
 
-// PutEncodedOwned stores enc without copying, transferring ownership
-// to the store: the caller must never touch enc again. It exists for
-// the hot ingest path, where the bytes come fresh out of Encode and a
-// defensive copy would double every label allocation; buffer-reusing
-// callers want PutEncoded instead.
+// PutEncodedOwned stores enc without copying and publishes it,
+// transferring ownership to the store: the caller must never touch enc
+// again. It exists for single-put callers; the hot ingest path stages
+// whole batches with AppendOwned and publishes once.
 func (s *Store) PutEncodedOwned(v graph.VertexID, enc []byte) error {
-	if _, dup := s.data[v]; dup {
+	if err := s.StageOwned(v, enc); err != nil {
+		return err
+	}
+	s.Publish()
+	return nil
+}
+
+// StageOwned stages enc for v without publishing it: the label becomes
+// visible to readers at the next Publish. Ownership of enc transfers
+// to the store. Duplicates — staged or published — are rejected.
+func (s *Store) StageOwned(v graph.VertexID, enc []byte) error {
+	sh := s.shardOf(v)
+	sh.mu.Lock()
+	err := sh.stageLocked(v, enc)
+	sh.mu.Unlock()
+	return err
+}
+
+// AppendOwned stages a batch of entries, grouped by shard so each
+// shard's mutex is taken once per batch rather than once per label.
+// Ownership of every Enc transfers to the store; the Entry slice
+// itself is not retained. On a duplicate vertex the batch stops there:
+// entries before it are staged, the rest are not.
+func (s *Store) AppendOwned(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	// The common batch is far larger than the shard count, so the
+	// bucketing cost is dwarfed by the per-shard locking it saves.
+	buckets := make([][]Entry, len(s.shards))
+	for _, e := range entries {
+		i := s.shardIndex(e.V)
+		buckets[i] = append(buckets[i], e)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range b {
+			if err := sh.stageLocked(e.V, e.Enc); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// stageLocked records one pending label. Called with sh.mu held.
+func (sh *shard) stageLocked(v graph.VertexID, enc []byte) error {
+	if _, dup := sh.pending[v]; dup {
 		return fmt.Errorf("store: vertex %d already stored", v)
 	}
-	s.data[v] = enc
-	s.bits += len(enc) * 8
+	if _, dup := sh.view.Load().get(v); dup {
+		return fmt.Errorf("store: vertex %d already stored", v)
+	}
+	sh.pending[v] = enc
+	sh.pendingBits += len(enc) * 8
 	return nil
+}
+
+// Publish makes every staged label visible to readers by republishing
+// the read view of each dirty shard: the pending map itself is frozen
+// as the view's newest chunk (no copying on the publish path), and
+// tail chunks are merged — into fresh maps, published chunks are never
+// mutated — whenever the geometric size invariant calls for it.
+// Publish returns the store's publish epoch, which increments once per
+// Publish call that changed anything, and is safe to call concurrently
+// with writers and readers.
+func (s *Store) Publish() int64 {
+	changed := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.pending) > 0 {
+			old := sh.view.Load()
+			chunks := make([]map[graph.VertexID][]byte, len(old.chunks), len(old.chunks)+1)
+			copy(chunks, old.chunks)
+			chunks = append(chunks, sh.pending)
+			// Binary-counter compaction: merge the two tail chunks until
+			// every chunk is at least twice its successor. Each label is
+			// merged O(log n) times over the shard's lifetime.
+			for len(chunks) >= 2 {
+				a, b := chunks[len(chunks)-2], chunks[len(chunks)-1]
+				if len(a) >= 2*len(b) {
+					break
+				}
+				m := make(map[graph.VertexID][]byte, len(a)+len(b))
+				maps.Copy(m, a)
+				maps.Copy(m, b)
+				chunks = append(chunks[:len(chunks)-2], m)
+			}
+			sh.view.Store(&shardView{chunks: chunks})
+			sh.count.Add(int64(len(sh.pending)))
+			s.count.Add(int64(len(sh.pending)))
+			s.bits.Add(int64(sh.pendingBits))
+			sh.pending = make(map[graph.VertexID][]byte)
+			sh.pendingBits = 0
+			sh.epoch.Add(1)
+			changed = true
+		}
+		sh.mu.Unlock()
+	}
+	if changed {
+		return s.epoch.Add(1)
+	}
+	return s.epoch.Load()
+}
+
+// Epoch returns the store's publish epoch: the number of Publish calls
+// that made new labels visible.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
+
+// ShardStats returns a point-in-time snapshot of every shard's
+// published label count and view epoch, in shard order.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		out[i] = ShardStat{
+			Vertices: int(s.shards[i].count.Load()),
+			Epoch:    s.shards[i].epoch.Load(),
+		}
+	}
+	return out
 }
 
 // Get decodes the stored label of v.
 func (s *Store) Get(v graph.VertexID) (label.Label, bool, error) {
-	enc, ok := s.data[v]
+	enc, ok := s.GetRaw(v)
 	if !ok {
 		return label.Label{}, false, nil
 	}
@@ -85,15 +346,14 @@ func (s *Store) Get(v graph.VertexID) (label.Label, bool, error) {
 	return l, true, nil
 }
 
-// GetRaw returns the stored encoded label bytes of v. The returned
-// slice is the store's own backing array — callers must treat it as
-// immutable (labels are write-once, so the bytes never change after
-// Put). This is the read path concurrent services build on: fetch the
-// two byte strings under a read lock, then decode and evaluate π
-// outside it with ReachBytes.
+// GetRaw returns the published encoded label bytes of v, without
+// taking any lock. The returned slice is the store's own backing
+// array — callers must treat it as immutable (labels are write-once,
+// so the bytes never change after publication). This is the read path
+// concurrent services build on: fetch the two byte strings from the
+// shard views, then decode and evaluate π with ReachBytes.
 func (s *Store) GetRaw(v graph.VertexID) ([]byte, bool) {
-	enc, ok := s.data[v]
-	return enc, ok
+	return s.shardOf(v).view.Load().get(v)
 }
 
 // ReachBytes answers v ;* w directly from two encoded labels, without
@@ -111,7 +371,7 @@ func (s *Store) ReachBytes(bv, bw []byte) (bool, error) {
 	return core.Pi(s.skel, lv, lw), nil
 }
 
-// Reach answers v ;* w from the stored bytes alone.
+// Reach answers v ;* w from the stored bytes alone, lock-free.
 func (s *Store) Reach(v, w graph.VertexID) (bool, error) {
 	lv, ok, err := s.Get(v)
 	if err != nil {
@@ -130,44 +390,56 @@ func (s *Store) Reach(v, w graph.VertexID) (bool, error) {
 	return core.Pi(s.skel, lv, lw), nil
 }
 
-// Lineage returns the stored vertices that reach v (its provenance
-// closure), in ascending order. O(stored) decodes.
+// Lineage returns the published vertices that reach v (its provenance
+// closure), in ascending order. The target label is decoded once; the
+// scan decodes each stored label against it — O(stored) decodes, no
+// locks. Shard views are loaded independently, so over a concurrent
+// ingest the scan sees each shard at whatever batch it last published;
+// labels are write-once, so every reported ancestor is correct.
 func (s *Store) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
-	lv, ok, err := s.Get(v)
-	if err != nil {
-		return nil, err
-	}
+	bv, ok := s.GetRaw(v)
 	if !ok {
 		return nil, fmt.Errorf("store: vertex %d not stored", v)
 	}
+	lv, err := s.codec.Decode(bv)
+	if err != nil {
+		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
+	}
 	var out []graph.VertexID
-	for w := range s.data {
-		lw, _, err := s.Get(w)
-		if err != nil {
-			return nil, err
-		}
-		if core.Pi(s.skel, lw, lv) {
-			out = append(out, w)
+	for i := range s.shards {
+		for _, m := range s.shards[i].view.Load().chunks {
+			for w, bw := range m {
+				lw, err := s.codec.Decode(bw)
+				if err != nil {
+					return nil, fmt.Errorf("store: vertex %d: %w", w, err)
+				}
+				if core.Pi(s.skel, lw, lv) {
+					out = append(out, w)
+				}
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 
-// Snapshot returns a shallow copy of the vertex → encoded-label map.
-// The byte slices are shared with the store (they are write-once);
-// only the map itself is copied, so a caller can take the snapshot
-// under a lock and decode at leisure outside it.
+// Snapshot returns a copy of the published vertex → encoded-label map,
+// merged across shards, without taking any lock. The byte slices are
+// shared with the store (they are write-once); only the map itself is
+// fresh. Concurrent publishes may or may not be included, shard by
+// shard — any such snapshot is a valid published prefix per shard.
 func (s *Store) Snapshot() map[graph.VertexID][]byte {
-	out := make(map[graph.VertexID][]byte, len(s.data))
-	for v, enc := range s.data {
-		out[v] = enc
+	out := make(map[graph.VertexID][]byte, s.Count())
+	for i := range s.shards {
+		for _, m := range s.shards[i].view.Load().chunks {
+			maps.Copy(out, m)
+		}
 	}
 	return out
 }
 
-// Count returns the number of stored labels.
-func (s *Store) Count() int { return len(s.data) }
+// Count returns the number of published labels.
+func (s *Store) Count() int { return int(s.count.Load()) }
 
-// Bits returns the total stored label bytes, in bits.
-func (s *Store) Bits() int { return s.bits }
+// Bits returns the total published label bytes, in bits.
+func (s *Store) Bits() int { return int(s.bits.Load()) }

@@ -1,6 +1,9 @@
 package store_test
 
 import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wfreach/internal/core"
@@ -226,5 +229,203 @@ func TestPutEncodedCopies(t *testing.T) {
 	}
 	if len(raw) > 0 && &raw[0] == &buf[0] {
 		t.Fatal("GetRaw returned the caller's buffer")
+	}
+}
+
+// TestShardCountRounding checks NewSharded's clamping and
+// power-of-two rounding.
+func TestShardCountRounding(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	for _, tc := range []struct{ in, want int }{
+		{0, store.DefaultShards}, {-3, store.DefaultShards},
+		{1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32}, {1 << 20, 4096},
+	} {
+		if got := store.NewSharded(g, skeleton.TCL, tc.in).Shards(); got != tc.want {
+			t.Errorf("NewSharded(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStagePublishVisibility checks the batch contract: staged labels
+// are invisible until Publish, then all visible at once, and shard
+// stats account for exactly the published ones.
+func TestStagePublishVisibility(t *testing.T) {
+	g := spec.MustCompile(wfspecs.RunningExample())
+	r := gen.MustGenerate(g, gen.Options{TargetSize: 120, Seed: 8})
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.NewSharded(g, skeleton.TCL, 4)
+	live := r.Graph.LiveVertices()
+	entries := make([]store.Entry, 0, len(live))
+	for _, v := range live {
+		entries = append(entries, store.Entry{V: v, Enc: s.Encode(d.MustLabel(v))})
+	}
+	if err := s.AppendOwned(entries); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 || s.Bits() != 0 {
+		t.Fatalf("staged labels already counted: count=%d bits=%d", s.Count(), s.Bits())
+	}
+	if _, ok := s.GetRaw(live[0]); ok {
+		t.Fatal("staged label visible before Publish")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("epoch before publish = %d", got)
+	}
+
+	if got := s.Publish(); got != 1 {
+		t.Fatalf("first publish epoch = %d, want 1", got)
+	}
+	if s.Count() != len(live) {
+		t.Fatalf("published %d labels, want %d", s.Count(), len(live))
+	}
+	for _, v := range live {
+		if _, ok := s.GetRaw(v); !ok {
+			t.Fatalf("vertex %d missing after Publish", v)
+		}
+	}
+	// A no-op publish does not advance the epoch.
+	if got := s.Publish(); got != 1 {
+		t.Fatalf("no-op publish epoch = %d, want 1", got)
+	}
+
+	stats := s.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(stats))
+	}
+	sum, epochs := 0, int64(0)
+	for _, st := range stats {
+		sum += st.Vertices
+		epochs += st.Epoch
+	}
+	if sum != len(live) {
+		t.Fatalf("shard counts sum to %d, want %d", sum, len(live))
+	}
+	if epochs == 0 {
+		t.Fatal("no shard epoch advanced")
+	}
+
+	// Duplicates are rejected whether published or still staged.
+	if err := s.AppendOwned([]store.Entry{{V: live[0], Enc: []byte{1}}}); err == nil {
+		t.Fatal("duplicate of a published vertex accepted")
+	}
+	if err := s.StageOwned(99999, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StageOwned(99999, []byte{2}); err == nil {
+		t.Fatal("duplicate of a staged vertex accepted")
+	}
+}
+
+// TestConcurrentBatchIngestQuery is the store's own concurrency
+// contract test (run with -race): one writer stages and publishes
+// batches while readers hammer the lock-free query path — GetRaw,
+// Reach, Lineage, Snapshot and stats — over whatever prefix is
+// published, checking every reach answer against the BFS oracle.
+func TestConcurrentBatchIngestQuery(t *testing.T) {
+	g := spec.MustCompile(wfspecs.BioAID())
+	events, r, err := gen.GenerateEvents(g, gen.Options{TargetSize: 1500, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.LabelRun(r, skeleton.TCL, core.RModeDesignated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := store.NewSharded(g, skeleton.TCL, 8)
+
+	const batch = 48
+	published := new(atomic.Int64) // events published so far
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // single writer: stage a batch, publish, advance
+		defer wg.Done()
+		defer close(done)
+		for lo := 0; lo < len(events); lo += batch {
+			hi := min(lo+batch, len(events))
+			entries := make([]store.Entry, 0, hi-lo)
+			for _, ev := range events[lo:hi] {
+				entries = append(entries, store.Entry{V: ev.V, Enc: s.Encode(d.MustLabel(ev.V))})
+			}
+			if err := s.AppendOwned(entries); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			s.Publish()
+			published.Store(int64(hi))
+		}
+	}()
+
+	for ri := 0; ri < 4; ri++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 400; q++ {
+				n := published.Load()
+				if n < 2 {
+					q--
+					continue
+				}
+				v := events[rng.Int63n(n)].V
+				w := events[rng.Int63n(n)].V
+				got, err := s.Reach(v, w)
+				if err != nil {
+					t.Errorf("reach(%d,%d): %v", v, w, err)
+					return
+				}
+				if want := r.Graph.Reaches(v, w); got != want {
+					t.Errorf("reach(%d,%d)=%v, want %v", v, w, got, want)
+					return
+				}
+				switch q % 40 {
+				case 0:
+					if _, err := s.Lineage(v); err != nil {
+						t.Errorf("lineage(%d): %v", v, err)
+						return
+					}
+				case 1:
+					if got := len(s.Snapshot()); int64(got) < n {
+						// Snapshot races later publishes, but can never
+						// hold fewer labels than were published before
+						// the call.
+						t.Errorf("snapshot has %d labels, published %d", got, n)
+						return
+					}
+				case 2:
+					s.ShardStats()
+					s.Epoch()
+					s.Count()
+					s.Bits()
+				}
+			}
+		}(int64(ri))
+	}
+	wg.Wait()
+
+	// Everything is published: the lineage of the final sink matches a
+	// full oracle scan.
+	last := events[len(events)-1].V
+	lin, err := s.Lineage(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, ev := range events {
+		if r.Graph.Reaches(ev.V, last) {
+			want++
+		}
+	}
+	if len(lin) != want {
+		t.Fatalf("lineage size %d, want %d", len(lin), want)
+	}
+	for i := 1; i < len(lin); i++ {
+		if lin[i-1] >= lin[i] {
+			t.Fatal("lineage not ascending")
+		}
 	}
 }

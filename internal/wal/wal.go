@@ -41,6 +41,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
@@ -254,15 +256,36 @@ func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64
 	}
 }
 
-// Log is an open write-ahead log, ready for appends. Methods are not
-// safe for concurrent use; the service serializes them under its
-// per-session ingest lock.
+// Log is an open write-ahead log. Appends must still come from one
+// goroutine at a time (the service serializes them under its
+// per-session ingest lock), but Flush, Sync and Close may be called
+// from other goroutines — that is what lets a group-commit leader
+// (Committer) flush a session's log on the session's behalf, and
+// flush many sessions' logs in parallel.
 type Log struct {
-	f     *os.File
-	w     *bufio.Writer
-	fsync bool
-	buf   []byte // scratch for payload encoding
+	// mu guards the file handle, the buffered writer and the closed
+	// flag. Held across the fsync too: a flush that raced an in-flight
+	// append could otherwise sync a torn frame into "durable" territory.
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	fsync  bool
+	closed bool
+	buf    []byte // scratch for payload encoding, used under mu
+
+	// appendSeq counts appended records; durableSeq is the highest
+	// appendSeq known to be flushed (maintained by Committer).
+	appendSeq  atomic.Int64
+	durableSeq atomic.Int64
 }
+
+// AppendSeq returns the number of records appended so far — the
+// sequence to pass to Committer.Commit to make the log durable up to
+// this point.
+func (l *Log) AppendSeq() int64 { return l.appendSeq.Load() }
+
+// errClosed reports appends or flushes on a closed log.
+var errClosed = errors.New("wal: log closed")
 
 // Open opens (creating if absent) the log at path for appending and
 // truncates it to validSize, discarding any corrupt tail that a prior
@@ -290,6 +313,11 @@ func Open(path string, validSize int64, fsync bool) (*Log, error) {
 // would treat it as corruption, silently truncating recovery at that
 // point, so it must never be acknowledged as logged.
 func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
 	l.buf = appendPayload(l.buf[:0], rec)
 	if len(l.buf) > maxPayload {
 		return fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte format cap", len(l.buf), maxPayload)
@@ -303,16 +331,36 @@ func (l *Log) Append(rec Record) error {
 	if _, err := l.w.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.appendSeq.Add(1)
 	return nil
 }
 
 // Flush writes buffered records to the file, fsyncing as configured at
-// Open. Call it before acknowledging a batch.
+// Open. An acknowledged batch must be flushed first — either directly,
+// or through a Committer that amortizes the flush over concurrent
+// batches.
 func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(l.fsync)
+}
+
+// Sync flushes and forces the log to stable storage regardless of the
+// fsync setting.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(true)
+}
+
+func (l *Log) flushLocked(sync bool) error {
+	if l.closed {
+		return errClosed
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if l.fsync {
+	if sync {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -320,21 +368,16 @@ func (l *Log) Flush() error {
 	return nil
 }
 
-// Sync flushes and forces the log to stable storage regardless of the
-// fsync setting.
-func (l *Log) Sync() error {
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	return nil
-}
-
-// Close flushes and closes the log.
+// Close flushes and closes the log. Later appends, flushes and commits
+// fail.
 func (l *Log) Close() error {
-	flushErr := l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	flushErr := l.flushLocked(l.fsync)
+	l.closed = true
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
