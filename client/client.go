@@ -1,0 +1,394 @@
+// Package client is the Go SDK for the wfserve /v1 HTTP API (the
+// concurrent provenance-labeling service; see docs/API.md for the
+// wire reference).
+//
+// A Client is safe for concurrent use. Every method takes a context,
+// decodes the server's structured errors into *Error values usable
+// with errors.As, and retries transient server failures (5xx, network
+// errors) on read-only calls with exponential backoff:
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	stats, err := c.CreateSession(ctx, client.CreateSessionRequest{
+//		Name: "run1", Builtin: "BioAID",
+//	})
+//	var apiErr *client.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == client.CodeSessionExists {
+//		// reuse the session
+//	}
+//
+// For ingest, Stream sends events over the binary frame format —
+// byte-identical to the server's write-ahead-log frame, so a durable
+// server logs accepted frames without re-encoding — batching
+// automatically by size and, optionally, by flush interval. Reach and
+// ReachBatch answer reachability over the batch endpoint, amortizing
+// one roundtrip over many pairs; Lineage walks the paginated closure
+// scan for arbitrarily large provenance sets.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"wfreach/internal/api"
+)
+
+// Wire types, re-exported from the contract package (internal/api) so
+// external callers can name them.
+type (
+	// Event is the wire form of one execution event: exactly one of
+	// (Graph, Vertex) or Name identifies the executed specification
+	// vertex.
+	Event = api.Event
+	// CreateSessionRequest configures a new session.
+	CreateSessionRequest = api.CreateSessionRequest
+	// SessionStats is a point-in-time snapshot of one session.
+	SessionStats = api.SessionStats
+	// EventsResponse reports how far an ingest request got.
+	EventsResponse = api.EventsResponse
+	// ReachPair is one reachability question.
+	ReachPair = api.ReachPair
+	// ReachAnswer answers one pair; failed pairs carry Code/Error.
+	ReachAnswer = api.ReachAnswer
+	// LineagePage is one page of a provenance-closure scan.
+	LineagePage = api.LineageResponse
+	// Error is the service's structured error; retrieve it with
+	// errors.As and dispatch on Code.
+	Error = api.Error
+	// ErrorCode classifies an Error.
+	ErrorCode = api.ErrorCode
+)
+
+// The error codes a client dispatches on (the full set lives in
+// internal/api; these are re-exported verbatim).
+const (
+	CodeBadRequest       = api.CodeBadRequest
+	CodeBadJSON          = api.CodeBadJSON
+	CodeBadVertex        = api.CodeBadVertex
+	CodeBadEvent         = api.CodeBadEvent
+	CodeBadFrame         = api.CodeBadFrame
+	CodeBadSpec          = api.CodeBadSpec
+	CodeUnknownBuiltin   = api.CodeUnknownBuiltin
+	CodeSessionNotFound  = api.CodeSessionNotFound
+	CodeSessionExists    = api.CodeSessionExists
+	CodeVertexNotLabeled = api.CodeVertexNotLabeled
+	CodeSessionPoisoned  = api.CodeSessionPoisoned
+	CodeMethodNotAllowed = api.CodeMethodNotAllowed
+	CodeNotFound         = api.CodeNotFound
+	CodeInternal         = api.CodeInternal
+	CodeUnknown          = api.CodeUnknown
+)
+
+// Client talks to one wfserve instance.
+type Client struct {
+	base    string
+	prefix  string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry sets how many times a retryable request (read-only, or
+// transport-level failure before any byte was processed) is retried
+// on 5xx or network error, and the initial backoff, doubled per
+// attempt. The default is 2 retries starting at 100ms; WithRetry(0,
+// 0) disables retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries = retries; c.backoff = backoff }
+}
+
+// WithUnversionedPaths switches the client onto the deprecated
+// unversioned route prefix (the pre-/v1 surface kept as an adapter).
+//
+// Deprecated: exists to drive and regression-test the legacy surface;
+// new code should not use it.
+func WithUnversionedPaths() Option { return func(c *Client) { c.prefix = "" } }
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	c := &Client{
+		base:    base,
+		prefix:  "/v1",
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON request. body nil means no request body; out nil
+// discards the response body. retryable marks requests safe to replay
+// (reads; never ingest, which is not idempotent).
+func (c *Client) do(ctx context.Context, method, path string, body, out any, retryable bool) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	return c.doRaw(ctx, method, path, api.ContentTypeJSON, raw, out, retryable)
+}
+
+func (c *Client) doRaw(ctx context.Context, method, path, contentType string, body []byte, out any, retryable bool) error {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, contentType, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.retries || !transient(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// transient reports whether an error is worth retrying: a server-side
+// 5xx, or a transport failure that never produced a response.
+func transient(err error) bool {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.HTTPStatus >= 500
+	}
+	return true // transport error
+}
+
+func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+c.prefix+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		return decodeError(resp.StatusCode, raw)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("client: %s %s: decode response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeError rebuilds the server's structured error — including the
+// partial-ingest Applied count from the response envelope — so a
+// caller can resync after a failed batch. A body that is not in the
+// structured shape (a proxy error page, …) becomes CodeUnknown with
+// the raw body as message.
+func decodeError(status int, raw []byte) *Error {
+	var resp api.ErrorResponse
+	if err := json.Unmarshal(raw, &resp); err == nil && resp.Err != nil && resp.Err.Code != "" {
+		resp.Err.HTTPStatus = status
+		resp.Err.Applied = resp.Applied
+		return resp.Err
+	}
+	return &Error{
+		Code:       CodeUnknown,
+		Message:    fmt.Sprintf("HTTP %d: %s", status, bytes.TrimSpace(raw)),
+		HTTPStatus: status,
+	}
+}
+
+// CreateSession opens a new labeling session and returns its initial
+// stats.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionStats, error) {
+	var st SessionStats
+	err := c.do(ctx, http.MethodPost, "/sessions", req, &st, false)
+	return st, err
+}
+
+// Sessions lists the open sessions with their stats, sorted by name.
+func (c *Client) Sessions(ctx context.Context) ([]SessionStats, error) {
+	var resp api.ListSessionsResponse
+	if err := c.do(ctx, http.MethodGet, "/sessions", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// Session returns one session's stats.
+func (c *Client) Session(ctx context.Context, name string) (SessionStats, error) {
+	var st SessionStats
+	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(name), nil, &st, true)
+	return st, err
+}
+
+// DeleteSession removes a session; on a durable server its on-disk
+// data is deleted too.
+func (c *Client) DeleteSession(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(name), nil, nil, false)
+}
+
+// Ingest appends a batch of events over the JSON route, in order,
+// returning how far the batch got. For sustained ingest prefer
+// Stream, which uses the binary frame format. Ingest is not
+// idempotent and is never retried; on a partial failure the typed
+// error's Applied field carries how many events the server durably
+// applied before stopping.
+func (c *Client) Ingest(ctx context.Context, session string, events []Event) (EventsResponse, error) {
+	var resp EventsResponse
+	err := c.do(ctx, http.MethodPost, "/sessions/"+url.PathEscape(session)+"/events",
+		api.EventsRequest{Events: events}, &resp, false)
+	return resp, err
+}
+
+// IngestFrames appends a batch of events in one binary-frame request
+// (what Stream uses per flush).
+func (c *Client) IngestFrames(ctx context.Context, session string, events []Event) (EventsResponse, error) {
+	var buf []byte
+	var err error
+	for _, ev := range events {
+		if buf, err = api.AppendFrame(buf, ev); err != nil {
+			return EventsResponse{}, err
+		}
+	}
+	return c.ingestRaw(ctx, session, buf)
+}
+
+func (c *Client) ingestRaw(ctx context.Context, session string, frames []byte) (EventsResponse, error) {
+	var resp EventsResponse
+	err := c.doRaw(ctx, http.MethodPost, "/sessions/"+url.PathEscape(session)+"/events",
+		api.ContentTypeFrame, frames, &resp, false)
+	return resp, err
+}
+
+// ReachBatch answers many reachability pairs in one roundtrip, one
+// answer per pair in order. Pair-level failures (an unlabeled vertex)
+// arrive inline on the answer, not as a call error.
+func (c *Client) ReachBatch(ctx context.Context, session string, pairs []ReachPair) ([]ReachAnswer, error) {
+	var resp api.BatchReachResponse
+	err := c.do(ctx, http.MethodPost, "/sessions/"+url.PathEscape(session)+"/reach",
+		api.BatchReachRequest{Pairs: pairs}, &resp, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(pairs) {
+		return nil, fmt.Errorf("client: %d answers for %d pairs", len(resp.Results), len(pairs))
+	}
+	return resp.Results, nil
+}
+
+// Reach asks whether from reaches to (reflexive). It rides on the
+// batch endpoint; ask many pairs at once with ReachBatch to amortize
+// the roundtrip.
+func (c *Client) Reach(ctx context.Context, session string, from, to int32) (bool, error) {
+	answers, err := c.ReachBatch(ctx, session, []ReachPair{{From: from, To: to}})
+	if err != nil {
+		return false, err
+	}
+	if answers[0].Code != "" {
+		return false, &Error{Code: answers[0].Code, Message: answers[0].Error}
+	}
+	return answers[0].Reachable, nil
+}
+
+// ReachLegacy asks one pair over the deprecated GET form.
+//
+// Deprecated: use Reach or ReachBatch; this exists to regression-test
+// the legacy surface.
+func (c *Client) ReachLegacy(ctx context.Context, session string, from, to int32) (bool, error) {
+	var ans ReachAnswer
+	err := c.do(ctx, http.MethodGet,
+		fmt.Sprintf("/sessions/%s/reach?from=%d&to=%d", url.PathEscape(session), from, to), nil, &ans, true)
+	return ans.Reachable, err
+}
+
+// LineagePage fetches one page of the provenance closure of a vertex:
+// up to limit ancestors after the cursor (empty cursor starts the
+// scan; limit <= 0 uses the server default). The returned page's
+// NextCursor resumes the scan; empty means done. Every page costs the
+// server a full scan over the session's labels (reachability is
+// answered from labels alone — there is no ancestor index to seek
+// into), so pick limits that bound the response size, and prefer
+// Lineage when the whole closure is wanted.
+func (c *Client) LineagePage(ctx context.Context, session string, of int32, cursor string, limit int) (LineagePage, error) {
+	q := url.Values{"of": {strconv.Itoa(int(of))}}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	} else if cursor == "" {
+		// Force pagination even on the first page — a bare ?of= request
+		// is the deprecated full scan.
+		q.Set("limit", strconv.Itoa(api.DefaultLineageLimit))
+	}
+	var page LineagePage
+	err := c.do(ctx, http.MethodGet,
+		"/sessions/"+url.PathEscape(session)+"/lineage?"+q.Encode(), nil, &page, true)
+	return page, err
+}
+
+// Lineage returns the full provenance closure of a vertex, ascending,
+// walking the paginated scan until it is exhausted. It asks for the
+// server's maximum page size: each page costs the server a full label
+// scan (see LineagePage), so fewer, larger pages are strictly
+// cheaper — small limits are for bounding response sizes, not work.
+func (c *Client) Lineage(ctx context.Context, session string, of int32) ([]int32, error) {
+	var out []int32
+	cursor := ""
+	for {
+		page, err := c.LineagePage(ctx, session, of, cursor, api.MaxLineageLimit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Ancestors...)
+		if page.NextCursor == "" {
+			return out, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// LineageLegacy returns the full closure in one unpaginated response.
+//
+// Deprecated: use Lineage; this exists to regression-test the legacy
+// surface.
+func (c *Client) LineageLegacy(ctx context.Context, session string, of int32) ([]int32, error) {
+	var resp LineagePage
+	err := c.do(ctx, http.MethodGet,
+		fmt.Sprintf("/sessions/%s/lineage?of=%d", url.PathEscape(session), of), nil, &resp, true)
+	return resp.Ancestors, err
+}

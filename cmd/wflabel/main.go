@@ -6,20 +6,33 @@
 //	wflabel -spec spec.xml -run run.xml -stats
 //	wflabel -spec spec.xml -run run.xml -query 3,141 -query 0,20
 //	wflabel -spec spec.xml -size 2048 -seed 5 -stats -verify
+//	wflabel -addr http://127.0.0.1:8080 -size 2048 -query 3,141 -query 0,20
 //
 // Without -run a random run of -size vertices is generated. With
 // -exec the execution-based labeler is used (events replayed in
 // topological order) instead of the derivation-based one.
+//
+// With -addr the labeling happens on a running wfserve instead of in
+// process: wflabel creates a session (named by -session) with the
+// specification, streams the run's execution over the binary frame
+// format through the Go client SDK, answers every -query in a single
+// batch-reach roundtrip, and deletes the session unless -keep is
+// given. -stats then reports the server's session statistics, and
+// -verify samples server answers against local BFS ground truth.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
 	"wfreach"
+	"wfreach/client"
 )
 
 type queryList []string
@@ -35,7 +48,10 @@ func main() {
 	useExec := flag.Bool("exec", false, "use the execution-based labeler")
 	useBFS := flag.Bool("bfs", false, "use the BFS skeleton instead of TCL")
 	stats := flag.Bool("stats", false, "print label statistics")
-	verify := flag.Bool("verify", false, "verify all labels against BFS ground truth (slow)")
+	verify := flag.Bool("verify", false, "verify labels against BFS ground truth (all pairs locally, a sample with -addr)")
+	addr := flag.String("addr", "", "wfserve base URL: label on the server through the client SDK instead of in process")
+	session := flag.String("session", "wflabel", "with -addr: session name to create")
+	keep := flag.Bool("keep", false, "with -addr: leave the session on the server when done")
 	var queries queryList
 	flag.Var(&queries, "query", "reachability query \"v,w\" (repeatable)")
 	flag.Parse()
@@ -67,6 +83,19 @@ func main() {
 		}
 	}
 
+	fmt.Printf("grammar: class=%s, |G(S)|=%d graphs, run: %d vertices, %d edges\n",
+		g.Class(), len(s.Graphs()), r.Size(), r.Graph.NumEdges())
+
+	if *addr != "" {
+		if err := runRemote(remoteConfig{
+			addr: *addr, session: *session, keep: *keep,
+			bfs: *useBFS, stats: *stats, verify: *verify, queries: queries,
+		}, s, r, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	kind := wfreach.TCL
 	if *useBFS {
 		kind = wfreach.BFS
@@ -91,9 +120,6 @@ func main() {
 		}
 		reach, labelOf = d.Reach, d.Label
 	}
-
-	fmt.Printf("grammar: class=%s, |G(S)|=%d graphs, run: %d vertices, %d edges\n",
-		g.Class(), len(s.Graphs()), r.Size(), r.Graph.NumEdges())
 
 	if *stats {
 		codec := wfreach.NewLabelCodec(g)
@@ -141,6 +167,118 @@ func main() {
 		}
 		fmt.Printf("reach(%d→%d) = %v   (%s → %s)\n", vid, wid, reach(vid, wid), r.NameOf(vid), r.NameOf(wid))
 	}
+}
+
+type remoteConfig struct {
+	addr    string
+	session string
+	keep    bool
+	bfs     bool
+	stats   bool
+	verify  bool
+	queries queryList
+}
+
+// remoteVerifySample is how many random pairs -verify checks against
+// the server in remote mode (the local mode checks all n², which
+// would be n² roundtrips here).
+const remoteVerifySample = 2000
+
+// runRemote labels the run on a wfserve: create a session over the
+// specification, stream the execution through the SDK's binary-frame
+// uploader, then answer every query in one batch-reach roundtrip.
+func runRemote(cfg remoteConfig, s *wfreach.Spec, r *wfreach.Run, out io.Writer) error {
+	ctx := context.Background()
+	c := client.New(cfg.addr)
+
+	events, err := r.Execution(nil)
+	if err != nil {
+		return err
+	}
+	xml, err := wfreach.SpecXML(s)
+	if err != nil {
+		return err
+	}
+	req := client.CreateSessionRequest{Name: cfg.session, SpecXML: xml}
+	if cfg.bfs {
+		req.Skeleton = "BFS"
+	}
+	if _, err := c.CreateSession(ctx, req); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	if !cfg.keep {
+		defer c.DeleteSession(context.Background(), cfg.session)
+	}
+
+	stream := c.Stream(ctx, cfg.session, client.StreamOptions{})
+	for _, ev := range events {
+		if err := stream.Send(wfreach.ToWire(ev)); err != nil {
+			return fmt.Errorf("stream events: %w", err)
+		}
+	}
+	if err := stream.Close(); err != nil {
+		return fmt.Errorf("stream events: %w", err)
+	}
+	fmt.Fprintf(out, "streamed %d events to %s (session %q)\n", stream.Applied(), cfg.addr, cfg.session)
+
+	if cfg.stats {
+		st, err := c.Session(ctx, cfg.session)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "server session: %d vertices in %d batches, %d label bits (%d skeleton bits), skeleton %s, mode %s\n",
+			st.Vertices, st.Batches, st.LabelBits, st.SkeletonBits, st.Skeleton, st.Mode)
+	}
+
+	if cfg.verify {
+		live := r.Graph.LiveVertices()
+		rng := rand.New(rand.NewSource(1))
+		pairs := make([]client.ReachPair, 0, remoteVerifySample)
+		for i := 0; i < remoteVerifySample; i++ {
+			pairs = append(pairs, client.ReachPair{
+				From: int32(live[rng.Intn(len(live))]),
+				To:   int32(live[rng.Intn(len(live))]),
+			})
+		}
+		answers, err := c.ReachBatch(ctx, cfg.session, pairs)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		for _, ans := range answers {
+			if ans.Code != "" {
+				return fmt.Errorf("verify: reach(%d,%d): %s: %s", ans.From, ans.To, ans.Code, ans.Error)
+			}
+			if want := r.Graph.Reaches(wfreach.VertexID(ans.From), wfreach.VertexID(ans.To)); ans.Reachable != want {
+				return fmt.Errorf("server answer diverges from ground truth at (%d,%d)", ans.From, ans.To)
+			}
+		}
+		fmt.Fprintf(out, "verified %d sampled pairs against ground truth\n", len(answers))
+	}
+
+	if len(cfg.queries) == 0 {
+		return nil
+	}
+	pairs := make([]client.ReachPair, len(cfg.queries))
+	for i, q := range cfg.queries {
+		vid, wid, err := parseQuery(q)
+		if err != nil {
+			return err
+		}
+		pairs[i] = client.ReachPair{From: int32(vid), To: int32(wid)}
+	}
+	// Every -query answered in one roundtrip.
+	answers, err := c.ReachBatch(ctx, cfg.session, pairs)
+	if err != nil {
+		return err
+	}
+	for i, ans := range answers {
+		if ans.Code != "" {
+			return fmt.Errorf("query %q: %s: %s", cfg.queries[i], ans.Code, ans.Error)
+		}
+		v, w := wfreach.VertexID(ans.From), wfreach.VertexID(ans.To)
+		fmt.Fprintf(out, "reach(%d→%d) = %v   (%s → %s)\n", ans.From, ans.To, ans.Reachable, r.NameOf(v), r.NameOf(w))
+	}
+	return nil
 }
 
 // parseQuery parses a -query value "v,w" into two vertex ids. Exactly

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -152,5 +153,47 @@ func TestWflabelOutOfRangeQueryMessage(t *testing.T) {
 	s := string(out)
 	if !strings.Contains(s, "999999,0") || !strings.Contains(s, "not a labeled run vertex") {
 		t.Fatalf("unclear error message:\n%s", s)
+	}
+}
+
+// TestWflabelRemoteMode labels a generated run on an in-process
+// wfserve through the client SDK: create + binary stream + one
+// batch-reach roundtrip for all queries, sampled verification, and
+// session cleanup.
+func TestWflabelRemoteMode(t *testing.T) {
+	reg := wfreach.NewRegistry()
+	srv := httptest.NewServer(wfreach.NewServiceHandler(reg))
+	defer srv.Close()
+	bin := buildOnce(t)
+
+	out, err := exec.Command(bin, "-size", "200", "-seed", "1",
+		"-addr", srv.URL, "-session", "remote", "-stats", "-verify",
+		"-query", "0,2", "-query", "2,0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"streamed", "server session:", "verified 2000 sampled pairs",
+		"reach(0→2) = true", "reach(2→0) = false",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Without -keep the session is deleted afterwards.
+	if _, ok := reg.Get("remote"); ok {
+		t.Fatal("session not cleaned up")
+	}
+
+	// -keep leaves it on the server.
+	out, err = exec.Command(bin, "-size", "100", "-seed", "2",
+		"-addr", srv.URL, "-session", "kept", "-keep").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	kept, ok := reg.Get("kept")
+	if !ok || kept.Vertices() == 0 {
+		t.Fatal("kept session missing or empty")
 	}
 }

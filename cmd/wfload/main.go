@@ -1,24 +1,33 @@
-// Command wfload drives a running wfserve: it generates workflow runs,
-// replays their execution streams against the server at configurable
-// concurrency and batch size, interleaves reachability (and optionally
-// lineage) queries, and reports ingest/query throughput and latency
+// Command wfload drives a running wfserve through the Go client SDK
+// (wfreach/client): it generates workflow runs, streams their
+// execution events to the server at configurable concurrency and
+// batch size, interleaves reachability (and optionally lineage)
+// queries, and reports ingest/query throughput and latency
 // percentiles.
 //
 // Usage:
 //
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 10000 -sessions 4 -batch 128 -readers 4
-//	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify
+//	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify -reach-batch 16
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
-//	wfload -addr http://127.0.0.1:8080 -readers 8 -lineage-every 16 -json run.json -cpuprofile cpu.pprof
+//	wfload -addr http://127.0.0.1:8080 -legacy -verify -cleanup
 //
-// Each session gets its own generated run (distinct seeds) and its own
-// writer goroutine streaming event batches; -readers query goroutines
-// per session issue reach queries over the already-acknowledged prefix
-// while ingestion is in flight — with -lineage-every N, every Nth
-// query is a full lineage scan instead, for query-heavy mixed
-// workloads. -shards asks the server for a specific store shard count
-// per created session. With -verify every query answer is checked
-// against BFS ground truth on the generated run.
+// By default ingest uses the /v1 binary frame stream and queries the
+// /v1 batch-reach endpoint; -reach-batch N amortizes one roundtrip
+// over N reachability pairs per query call. -legacy switches the
+// whole run onto the deprecated unversioned JSON surface (JSON event
+// batches, one GET reach per pair) — useful to regression-test the
+// adapter routes and to measure what /v1 buys. -cleanup deletes the
+// created sessions at the end.
+//
+// Each session gets its own generated run (distinct seeds) and its
+// own writer goroutine streaming event batches; -readers query
+// goroutines per session issue reach queries over the
+// already-acknowledged prefix while ingestion is in flight — with
+// -lineage-every N, every Nth query call is a full (paginated)
+// lineage scan instead. -shards asks the server for a specific store
+// shard count per created session. With -verify every query answer is
+// checked against BFS ground truth on the generated run.
 //
 // -json writes a machine-readable result report (throughput plus
 // latency percentiles) to the given path, so performance runs can be
@@ -37,13 +46,12 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -53,6 +61,7 @@ import (
 	"time"
 
 	"wfreach"
+	"wfreach/client"
 )
 
 type config struct {
@@ -69,6 +78,9 @@ type config struct {
 	queries      int
 	shards       int
 	lineageEvery int
+	reachBatch   int
+	legacy       bool
+	cleanup      bool
 	jsonPath     string
 	cpuProfile   string
 	memProfile   string
@@ -88,7 +100,10 @@ func main() {
 	flag.BoolVar(&cfg.resume, "resume", false, "verify sessions recovered by a restarted durable server instead of ingesting")
 	flag.IntVar(&cfg.queries, "queries", 2000, "reach queries per session in -resume mode")
 	flag.IntVar(&cfg.shards, "shards", 0, "store shard count per created session (0 = server default)")
-	flag.IntVar(&cfg.lineageEvery, "lineage-every", 0, "issue a lineage query every N reader queries (0 disables)")
+	flag.IntVar(&cfg.lineageEvery, "lineage-every", 0, "issue a lineage query every N reader query calls (0 disables)")
+	flag.IntVar(&cfg.reachBatch, "reach-batch", 1, "reachability pairs per batch-reach call")
+	flag.BoolVar(&cfg.legacy, "legacy", false, "drive the deprecated unversioned JSON surface instead of /v1 binary+batch")
+	flag.BoolVar(&cfg.cleanup, "cleanup", false, "delete the created sessions when the run finishes")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable result report to this path")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the load generator to this path")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile of the load generator to this path")
@@ -144,10 +159,12 @@ func toPercentiles(l *latencies) reportPercentiles {
 // the measured throughput and latency numbers, in stable units.
 type report struct {
 	Spec             string            `json:"spec"`
+	Mode             string            `json:"mode"` // "v1-binary" or "legacy-json"
 	Sessions         int               `json:"sessions"`
 	SizePerSession   int               `json:"size_per_session"`
 	Batch            int               `json:"batch"`
 	Readers          int               `json:"readers"`
+	ReachBatch       int               `json:"reach_batch,omitempty"`
 	Shards           int               `json:"shards,omitempty"`
 	LineageEvery     int               `json:"lineage_every,omitempty"`
 	Seed             int64             `json:"seed"`
@@ -172,56 +189,20 @@ func writeReport(path string, rep report) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
-type client struct {
-	base string
-	http *http.Client
+func (cfg config) mode() string {
+	if cfg.legacy {
+		return "legacy-json"
+	}
+	return "v1-binary"
 }
 
-func (c *client) do(method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(b)
+// newClient builds the SDK client for the configured mode.
+func newClient(cfg config) *client.Client {
+	opts := []client.Option{client.WithRetry(0, 0)} // measure the server, not the retry loop
+	if cfg.legacy {
+		opts = append(opts, client.WithUnversionedPaths())
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw))
-	}
-	if out != nil && len(raw) > 0 {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
-}
-
-type reachResponse struct {
-	Reachable bool `json:"reachable"`
-}
-
-type lineageResponse struct {
-	Ancestors []int32 `json:"ancestors"`
-}
-
-type statsResponse struct {
-	Vertices int64 `json:"vertices"`
-	Durable  bool  `json:"durable"`
+	return client.New(cfg.addr, opts...)
 }
 
 // sessionLoad is one session's generated ground truth: the event
@@ -238,12 +219,12 @@ type sessionLoad struct {
 // each holding some acknowledged prefix of the regenerated stream.
 // Recovery is correct iff every reachability answer over that prefix
 // matches BFS ground truth on the regenerated run.
-func runResume(cfg config, c *client, loads []sessionLoad, out io.Writer) error {
+func runResume(ctx context.Context, cfg config, c *client.Client, loads []sessionLoad, out io.Writer) error {
 	fmt.Fprintf(out, "wfload: resume verification of %d session(s) against regenerated ground truth\n", len(loads))
 	bad := 0
 	for i, l := range loads {
-		var st statsResponse
-		if err := c.do("GET", "/v1/sessions/"+l.name, nil, &st); err != nil {
+		st, err := c.Session(ctx, l.name)
+		if err != nil {
 			return fmt.Errorf("session %s not recovered: %w", l.name, err)
 		}
 		n := int(st.Vertices)
@@ -256,16 +237,15 @@ func runResume(cfg config, c *client, loads []sessionLoad, out io.Writer) error 
 		for q := 0; q < cfg.queries && n >= 1; q++ {
 			v := l.events[rng.Int63n(int64(n))].V
 			w := l.events[rng.Int63n(int64(n))].V
-			var rr reachResponse
-			if err := c.do("GET",
-				fmt.Sprintf("/v1/sessions/%s/reach?from=%d&to=%d", l.name, v, w), nil, &rr); err != nil {
+			reachable, err := c.Reach(ctx, l.name, int32(v), int32(w))
+			if err != nil {
 				return fmt.Errorf("session %s: reach(%d,%d): %w", l.name, v, w, err)
 			}
 			checked++
-			if rr.Reachable != l.run.Reaches(v, w) {
+			if reachable != l.run.Reaches(v, w) {
 				mismatches++
 				fmt.Fprintf(out, "  MISMATCH %s: reach(%d,%d)=%v, oracle says %v\n",
-					l.name, v, w, rr.Reachable, l.run.Reaches(v, w))
+					l.name, v, w, reachable, l.run.Reaches(v, w))
 			}
 		}
 		fmt.Fprintf(out, "  %s: %d/%d vertices recovered (durable=%v), %d queries, %d mismatches\n",
@@ -279,6 +259,23 @@ func runResume(cfg config, c *client, loads []sessionLoad, out io.Writer) error 
 	return nil
 }
 
+// ingestBatch sends one event batch in the configured mode and
+// reports how many events were acknowledged.
+func ingestBatch(ctx context.Context, cfg config, c *client.Client, name string, events []wfreach.Event) (int, error) {
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	var resp client.EventsResponse
+	var err error
+	if cfg.legacy {
+		resp, err = c.Ingest(ctx, name, wire)
+	} else {
+		resp, err = c.IngestFrames(ctx, name, wire)
+	}
+	return resp.Applied, err
+}
+
 func run(cfg config, out io.Writer) error {
 	spec, ok := wfreach.BuiltinSpec(cfg.spec)
 	if !ok {
@@ -288,7 +285,11 @@ func run(cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c := &client{base: cfg.addr, http: &http.Client{Timeout: 30 * time.Second}}
+	if cfg.reachBatch < 1 {
+		cfg.reachBatch = 1
+	}
+	ctx := context.Background()
+	c := newClient(cfg)
 
 	// Generate all streams up front so generation cost stays out of the
 	// measured window (and so -resume can rebuild identical ground
@@ -306,17 +307,17 @@ func run(cfg config, out io.Writer) error {
 		total += len(events)
 	}
 	if cfg.resume {
-		return runResume(cfg, c, loads, out)
+		return runResume(ctx, cfg, c, loads, out)
 	}
-	fmt.Fprintf(out, "wfload: %d sessions × ~%d vertices (%d events total), batch=%d, readers=%d/session\n",
-		cfg.sessions, cfg.size, total, cfg.batch, cfg.readers)
+	fmt.Fprintf(out, "wfload: %s mode, %d sessions × ~%d vertices (%d events total), batch=%d, readers=%d/session, reach-batch=%d\n",
+		cfg.mode(), cfg.sessions, cfg.size, total, cfg.batch, cfg.readers, cfg.reachBatch)
 
 	for _, l := range loads {
-		body := map[string]any{"name": l.name, "builtin": cfg.spec}
+		req := client.CreateSessionRequest{Name: l.name, Builtin: cfg.spec}
 		if cfg.shards > 0 {
-			body["shards"] = cfg.shards
+			req.Shards = cfg.shards
 		}
-		if err := c.do("POST", "/v1/sessions", body, nil); err != nil {
+		if _, err := c.CreateSession(ctx, req); err != nil {
 			return fmt.Errorf("create session %s: %w", l.name, err)
 		}
 	}
@@ -365,13 +366,8 @@ func run(cfg config, out io.Writer) error {
 			defer close(done)
 			for lo := 0; lo < len(l.events); lo += cfg.batch {
 				hi := min(lo+cfg.batch, len(l.events))
-				wire := make([]wfreach.WireEvent, 0, hi-lo)
-				for _, ev := range l.events[lo:hi] {
-					wire = append(wire, wfreach.ToWire(ev))
-				}
 				t0 := time.Now()
-				err := c.do("POST", "/v1/sessions/"+l.name+"/events",
-					map[string]any{"events": wire}, nil)
+				_, err := ingestBatch(ctx, cfg, c, l.name, l.events[lo:hi])
 				ingestLat.add(time.Since(t0))
 				if err != nil {
 					setErr(fmt.Errorf("ingest %s at %d: %w", l.name, lo, err))
@@ -398,12 +394,15 @@ func run(cfg config, out io.Writer) error {
 						time.Sleep(time.Millisecond)
 						continue
 					}
-					v := l.events[rng.Int63n(wm)].V
 					if cfg.lineageEvery > 0 && n%cfg.lineageEvery == cfg.lineageEvery-1 {
-						var lr lineageResponse
+						v := int32(l.events[rng.Int63n(wm)].V)
 						t0 := time.Now()
-						err := c.do("GET",
-							fmt.Sprintf("/v1/sessions/%s/lineage?of=%d", l.name, v), nil, &lr)
+						var err error
+						if cfg.legacy {
+							_, err = c.LineageLegacy(ctx, l.name, v)
+						} else {
+							_, err = c.Lineage(ctx, l.name, v)
+						}
 						queryLat.add(time.Since(t0))
 						if err != nil {
 							queryErrs.Add(1)
@@ -413,20 +412,47 @@ func run(cfg config, out io.Writer) error {
 						queried.Add(1)
 						continue
 					}
-					w := l.events[rng.Int63n(wm)].V
-					var rr reachResponse
+					if cfg.legacy {
+						v := l.events[rng.Int63n(wm)].V
+						w := l.events[rng.Int63n(wm)].V
+						t0 := time.Now()
+						reachable, err := c.ReachLegacy(ctx, l.name, int32(v), int32(w))
+						queryLat.add(time.Since(t0))
+						if err != nil {
+							queryErrs.Add(1)
+							continue
+						}
+						queried.Add(1)
+						if cfg.verify && reachable != l.run.Reaches(v, w) {
+							mismatches.Add(1)
+							setErr(fmt.Errorf("query mismatch: %s reach(%d,%d)=%v", l.name, v, w, reachable))
+						}
+						continue
+					}
+					pairs := make([]client.ReachPair, cfg.reachBatch)
+					for pi := range pairs {
+						pairs[pi] = client.ReachPair{
+							From: int32(l.events[rng.Int63n(wm)].V),
+							To:   int32(l.events[rng.Int63n(wm)].V),
+						}
+					}
 					t0 := time.Now()
-					err := c.do("GET",
-						fmt.Sprintf("/v1/sessions/%s/reach?from=%d&to=%d", l.name, v, w), nil, &rr)
+					answers, err := c.ReachBatch(ctx, l.name, pairs)
 					queryLat.add(time.Since(t0))
 					if err != nil {
 						queryErrs.Add(1)
 						continue
 					}
-					queried.Add(1)
-					if cfg.verify && rr.Reachable != l.run.Reaches(v, w) {
-						mismatches.Add(1)
-						setErr(fmt.Errorf("query mismatch: %s reach(%d,%d)=%v", l.name, v, w, rr.Reachable))
+					for _, ans := range answers {
+						if ans.Code != "" {
+							queryErrs.Add(1)
+							continue
+						}
+						queried.Add(1)
+						if cfg.verify && ans.Reachable != l.run.Reaches(wfreach.VertexID(ans.From), wfreach.VertexID(ans.To)) {
+							mismatches.Add(1)
+							setErr(fmt.Errorf("query mismatch: %s reach(%d,%d)=%v", l.name, ans.From, ans.To, ans.Reachable))
+						}
 					}
 				}
 			}(int64(i*cfg.readers + ri))
@@ -457,6 +483,15 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "verify: %d mismatches over %d checked queries\n", mismatches.Load(), queried.Load())
 	}
 
+	if cfg.cleanup {
+		for _, l := range loads {
+			if err := c.DeleteSession(ctx, l.name); err != nil {
+				return fmt.Errorf("cleanup %s: %w", l.name, err)
+			}
+		}
+		fmt.Fprintf(out, "cleanup: deleted %d session(s)\n", len(loads))
+	}
+
 	if cfg.memProfile != "" {
 		f, err := os.Create(cfg.memProfile)
 		if err != nil {
@@ -474,10 +509,12 @@ func run(cfg config, out io.Writer) error {
 	if cfg.jsonPath != "" {
 		rep := report{
 			Spec:             cfg.spec,
+			Mode:             cfg.mode(),
 			Sessions:         cfg.sessions,
 			SizePerSession:   cfg.size,
 			Batch:            cfg.batch,
 			Readers:          cfg.readers,
+			ReachBatch:       cfg.reachBatch,
 			Shards:           cfg.shards,
 			LineageEvery:     cfg.lineageEvery,
 			Seed:             cfg.seed,

@@ -199,3 +199,38 @@ func TestRunReportAndProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLegacyAndBatchModes drives the same server once over the
+// deprecated unversioned JSON surface and once over /v1 with batched
+// reach calls and cleanup, verifying both against the oracle.
+func TestRunLegacyAndBatchModes(t *testing.T) {
+	srv := httptest.NewServer(wfreach.NewServiceHandler(wfreach.NewRegistry()))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	legacy := config{
+		addr: srv.URL, spec: "RunningExample",
+		size: 400, seed: 7, sessions: 1, batch: 32, readers: 2,
+		verify: true, legacy: true, cleanup: true, prefix: "leg",
+	}
+	if err := run(legacy, &out); err != nil {
+		t.Fatalf("legacy: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "legacy-json mode") ||
+		!strings.Contains(s, "0 mismatches") || !strings.Contains(s, "deleted 1 session(s)") {
+		t.Fatalf("legacy report:\n%s", s)
+	}
+
+	out.Reset()
+	batched := config{
+		addr: srv.URL, spec: "RunningExample",
+		size: 400, seed: 7, sessions: 1, batch: 32, readers: 2,
+		verify: true, reachBatch: 16, lineageEvery: 8, cleanup: true, prefix: "leg", // name free again after legacy cleanup
+	}
+	if err := run(batched, &out); err != nil {
+		t.Fatalf("batched: %v\n%s", err, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "v1-binary mode") || !strings.Contains(s, "0 mismatches") {
+		t.Fatalf("batched report:\n%s", s)
+	}
+}

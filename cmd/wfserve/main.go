@@ -32,20 +32,29 @@
 // closes every session's write-ahead log, so a planned restart never
 // relies on crash recovery.
 //
-// The JSON API (see internal/service):
+// The versioned /v1 API (wire contract in internal/api, full
+// reference with curl and Go-client snippets in docs/API.md; drive it
+// programmatically with the wfreach/client SDK):
 //
 //	POST   /v1/sessions                 {"name":"r1","builtin":"BioAID"}
 //	POST   /v1/sessions                 {"name":"r2","spec_xml":"<spec>…","shards":32}
 //	GET    /v1/sessions                 list sessions
-//	GET    /v1/sessions/{name}          session stats (incl. per-shard counts + publish epochs)
+//	GET    /v1/sessions/{name}          session stats (also /v1/sessions/{name}/stats)
 //	DELETE /v1/sessions/{name}          drop a session
-//	POST   /v1/sessions/{name}/events   {"events":[{"v":0,"graph":0,"vertex":0,"preds":[]},…]}
-//	GET    /v1/sessions/{name}/reach    ?from=3&to=141
-//	GET    /v1/sessions/{name}/lineage  ?of=12
+//	POST   /v1/sessions/{name}/events   {"events":[…]} — or a binary frame stream
+//	                                    (Content-Type application/x-wfreach-frame)
+//	POST   /v1/sessions/{name}/reach    {"pairs":[{"from":3,"to":141},…]} batch query
+//	GET    /v1/sessions/{name}/reach    ?from=3&to=141 (deprecated single-pair form)
+//	GET    /v1/sessions/{name}/lineage  ?of=12&cursor=&limit= (paginated)
 //
 // Events carry either a specification reference ("graph","vertex") or
-// a module "name" (the Section 5.3 naming-restriction setting). The
-// bound address is printed on startup so callers can use -addr :0.
+// a module "name" (the Section 5.3 naming-restriction setting). On a
+// durable server, binary-frame ingest is teed to the write-ahead log
+// byte-for-byte — the wire frame and the WAL frame are the same
+// format. Errors are structured ({"error":{"code","message","detail"}})
+// with machine-readable codes; the pre-/v1 unversioned paths survive
+// as deprecated adapters. The bound address is printed on startup so
+// callers can use -addr :0.
 package main
 
 import (

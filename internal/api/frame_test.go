@@ -1,0 +1,202 @@
+package api
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfreach/internal/wal"
+)
+
+// randomEvents generates a mix of ref- and name-form wire events.
+func randomEvents(rng *rand.Rand, n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		var preds []int32
+		for p := 0; p < rng.Intn(4); p++ {
+			preds = append(preds, rng.Int31n(int32(i+1)))
+		}
+		if rng.Intn(2) == 0 {
+			g, v := rng.Int31n(8), rng.Int31n(16)
+			out[i] = Event{V: int32(i), Graph: &g, Vertex: &v, Preds: preds}
+		} else {
+			names := []string{"a", "align", "blast", "merge-0", "長"}
+			out[i] = Event{V: int32(i), Name: names[rng.Intn(len(names))], Preds: preds}
+		}
+	}
+	return out
+}
+
+// TestFrameEncodeMatchesWALBytes is the round-trip property test the
+// tee depends on: encoding a stream of events with AppendFrame yields
+// byte-for-byte the file a write-ahead log produces for the same
+// records via Log.Append.
+func TestFrameEncodeMatchesWALBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	events := randomEvents(rng, 500)
+
+	var wire []byte
+	path := filepath.Join(t.TempDir(), "events.wal")
+	log, err := wal.Open(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if wire, err = AppendFrame(wire, ev); err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", ev, err)
+		}
+		rec, err := ev.Record()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, disk) {
+		t.Fatalf("wire stream (%d bytes) differs from WAL file (%d bytes)", len(wire), len(disk))
+	}
+
+	// And AppendRaw of the wire frames reproduces the same file again.
+	path2 := filepath.Join(t.TempDir(), "raw.wal")
+	log2, err := wal.Open(path2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(wire))
+	for {
+		_, frame, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log2.AppendRaw(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, disk2) {
+		t.Fatal("AppendRaw of wire frames diverges from Append of the records")
+	}
+}
+
+func TestDecodeFramesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := randomEvents(rng, 200)
+	var wire []byte
+	var err error
+	for _, ev := range events {
+		if wire, err = AppendFrame(wire, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := DecodeFrames(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i].V != events[i].V || back[i].Name != events[i].Name || len(back[i].Preds) != len(events[i].Preds) {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func oneFrame(t *testing.T, ev Event) []byte {
+	t.Helper()
+	frame, err := AppendFrame(nil, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestFrameReaderRejectsDamage(t *testing.T) {
+	frame := oneFrame(t, Event{V: 3, Name: "x", Preds: []int32{1}})
+
+	expectBadFrame := func(name string, b []byte) {
+		t.Helper()
+		_, _, err := NewFrameReader(bytes.NewReader(b)).Next()
+		var ae *Error
+		if !errors.As(err, &ae) || ae.Code != CodeBadFrame {
+			t.Fatalf("%s: err = %v, want CodeBadFrame", name, err)
+		}
+	}
+
+	expectBadFrame("truncated header", frame[:5])
+	expectBadFrame("truncated payload", frame[:len(frame)-2])
+
+	crcFlipped := append([]byte(nil), frame...)
+	crcFlipped[len(crcFlipped)-1] ^= 0xff
+	expectBadFrame("payload corruption", crcFlipped)
+
+	headerFlipped := append([]byte(nil), frame...)
+	headerFlipped[4] ^= 0xff
+	expectBadFrame("CRC corruption", headerFlipped)
+
+	oversized := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(oversized[0:4], MaxFramePayload+1)
+	expectBadFrame("oversized length", oversized)
+
+	zeroLen := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(zeroLen[0:4], 0)
+	expectBadFrame("zero length", zeroLen)
+
+	// Clean EOF mid-stream boundary: a full frame then nothing.
+	fr := NewFrameReader(bytes.NewReader(frame))
+	if _, _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderReusesBuffer documents the aliasing contract: the
+// returned frame slice is only valid until the next call.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	a := oneFrame(t, Event{V: 1, Name: "aaaa"})
+	b := oneFrame(t, Event{V: 2, Name: "bbbb"})
+	fr := NewFrameReader(bytes.NewReader(append(append([]byte(nil), a...), b...)))
+	_, f1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]byte(nil), f1...)
+	if _, _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(keep, a) {
+		t.Fatal("copied frame changed")
+	}
+}
+
+func TestAppendFrameRejectsMalformedEvent(t *testing.T) {
+	_, err := AppendFrame(nil, Event{V: 1})
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeBadEvent {
+		t.Fatalf("err = %v, want CodeBadEvent", err)
+	}
+}

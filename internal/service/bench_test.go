@@ -1,10 +1,15 @@
 package service
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"wfreach/client"
 
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
@@ -190,4 +195,146 @@ func BenchmarkDurableConcurrentSessions(b *testing.B) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(len(events)*sessions*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// --- HTTP wire benchmarks: what the /v1 redesign buys on the wire.
+// They run through a real HTTP stack (httptest server + the Go client
+// SDK), so the numbers include framing, checksums and roundtrips.
+
+func benchHTTP(b *testing.B, durable bool) (*client.Client, func() string) {
+	b.Helper()
+	reg := NewRegistry()
+	if durable {
+		// Fsync off, snapshots off: the measured difference is the wire
+		// format and the WAL tee, not the disk.
+		var err error
+		if reg, err = NewDurableRegistry(DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1}); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { reg.Close() })
+	}
+	srv := httptest.NewServer(NewHandler(reg))
+	b.Cleanup(srv.Close)
+	c := client.New(srv.URL, client.WithRetry(0, 0))
+	n := 0
+	nextSession := func() string {
+		n++
+		name := fmt.Sprintf("b%d", n)
+		if _, err := c.CreateSession(context.Background(), client.CreateSessionRequest{
+			Name: name, Builtin: "BioAID",
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return name
+	}
+	return c, nextSession
+}
+
+func wireEvents(b *testing.B, events []run.Event) []client.Event {
+	b.Helper()
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = ToWire(ev)
+	}
+	return wire
+}
+
+// BenchmarkHTTPIngestJSON streams 256-event batches into a durable
+// session over the JSON events route — the pre-redesign wire path:
+// decode JSON, then re-encode every event into its WAL frame
+// server-side.
+func BenchmarkHTTPIngestJSON(b *testing.B) {
+	_, events := benchEvents(b, 8192)
+	c, nextSession := benchHTTP(b, true)
+	wire := wireEvents(b, events)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := nextSession()
+		for lo := 0; lo < len(wire); lo += 256 {
+			hi := min(lo+256, len(wire))
+			if _, err := c.Ingest(ctx, name, wire[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(wire)*b.N), "ns/event")
+	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkHTTPIngestBinary streams the same batches into a durable
+// session over the binary frame route: one length-prefixed CRC-framed
+// record per event, byte-identical to the WAL frame, teed to the log
+// without re-encoding.
+func BenchmarkHTTPIngestBinary(b *testing.B) {
+	_, events := benchEvents(b, 8192)
+	c, nextSession := benchHTTP(b, true)
+	wire := wireEvents(b, events)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := nextSession()
+		for lo := 0; lo < len(wire); lo += 256 {
+			hi := min(lo+256, len(wire))
+			if _, err := c.IngestFrames(ctx, name, wire[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(wire)*b.N), "ns/event")
+	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkHTTPReachSingle answers one reachability pair per
+// roundtrip over the deprecated GET form — ns/op is the per-pair
+// cost the batch endpoint amortizes.
+func BenchmarkHTTPReachSingle(b *testing.B) {
+	_, events := benchEvents(b, 8192)
+	c, nextSession := benchHTTP(b, false)
+	name := nextSession()
+	ctx := context.Background()
+	if _, err := c.IngestFrames(ctx, name, wireEvents(b, events)); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int32(events[rng.Intn(len(events))].V)
+		w := int32(events[rng.Intn(len(events))].V)
+		if _, err := c.ReachLegacy(ctx, name, v, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/pair")
+}
+
+// BenchmarkHTTPReachBatch64 answers 64 pairs per roundtrip over the
+// /v1 batch endpoint; ns/pair is directly comparable to
+// BenchmarkHTTPReachSingle.
+func BenchmarkHTTPReachBatch64(b *testing.B) {
+	const batch = 64
+	_, events := benchEvents(b, 8192)
+	c, nextSession := benchHTTP(b, false)
+	name := nextSession()
+	ctx := context.Background()
+	if _, err := c.IngestFrames(ctx, name, wireEvents(b, events)); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]client.ReachPair, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pi := range pairs {
+			pairs[pi] = client.ReachPair{
+				From: int32(events[rng.Intn(len(events))].V),
+				To:   int32(events[rng.Intn(len(events))].V),
+			}
+		}
+		if _, err := c.ReachBatch(ctx, name, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(batch*b.N), "ns/pair")
 }

@@ -222,6 +222,23 @@ func (s *Session) logRecord(rec wal.Record) error {
 	return nil
 }
 
+// logFrame appends one successfully labeled event to the WAL as a
+// pre-encoded, CRC-verified wire frame (byte-identical to the WAL
+// frame — see internal/api), skipping re-encoding. Failure semantics
+// match logRecord: a write failure poisons the session. Called with
+// ingestMu held.
+func (s *Session) logFrame(frame []byte) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.AppendRaw(frame); err != nil {
+		s.ioErr = fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
+		return s.ioErr
+	}
+	s.walEvents++
+	return nil
+}
+
 // commitWAL makes everything appended to the log up to seq durable —
 // flushed, and fsynced as the registry is configured — before the
 // batch is acknowledged. The flush goes through the registry's group

@@ -4,198 +4,204 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
+	"wfreach/internal/api"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
 	"wfreach/internal/run"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
+	"wfreach/internal/wal"
 	"wfreach/internal/wfxml"
 )
 
-// The HTTP API, one resource per session:
+// The HTTP surface, one resource per session. Wire types, error codes
+// and the binary ingest frame all live in internal/api — this file
+// only maps them onto sessions. The versioned routes:
 //
 //	POST   /v1/sessions                   create (JSON body, or raw spec XML)
 //	GET    /v1/sessions                   list sessions with stats
 //	GET    /v1/sessions/{name}            stats
+//	GET    /v1/sessions/{name}/stats      stats
 //	DELETE /v1/sessions/{name}            delete
-//	POST   /v1/sessions/{name}/events     ingest an event batch
-//	GET    /v1/sessions/{name}/reach      ?from=V&to=W
-//	GET    /v1/sessions/{name}/lineage    ?of=V
+//	POST   /v1/sessions/{name}/events     ingest: JSON batch, or binary frame stream
+//	POST   /v1/sessions/{name}/reach      batch reachability
+//	GET    /v1/sessions/{name}/reach      ?from=V&to=W (deprecated: one pair per roundtrip)
+//	GET    /v1/sessions/{name}/lineage    ?of=V&cursor=&limit= (paginated)
+//
+// The same paths without the /v1 prefix are served as deprecated
+// legacy adapters over the identical handlers (docs/API.md carries
+// the migration table). A known path hit with the wrong method is a
+// 405 with an Allow header; an unknown path is a structured 404.
 //
 // Create accepts either a JSON body (CreateRequest: a built-in spec
 // name or an inline spec XML string) or a raw XML specification with
 // Content-Type application/xml and the session options in query
 // parameters (?name=...&skeleton=TCL&rmode=designated&shards=16).
 
-// WireEvent is the JSON form of one execution event. Exactly one of
-// (Graph, Vertex) or Name identifies the executed specification
-// vertex: the ref form is run.Event, the name form core.NamedEvent.
-type WireEvent struct {
-	// V is the new run vertex being executed.
-	V int32 `json:"v"`
-	// Graph and Vertex name the specification vertex (ref form).
-	Graph  *int32 `json:"graph,omitempty"`
-	Vertex *int32 `json:"vertex,omitempty"`
-	// Name is the executed module's name (name form).
-	Name string `json:"name,omitempty"`
-	// Preds are V's immediate predecessors in the run.
-	Preds []int32 `json:"preds"`
-}
+// Aliases for the wire types this handler serves, so existing callers
+// of the service package keep compiling; the definitions live in
+// internal/api.
+type (
+	// WireEvent is the JSON form of one execution event.
+	WireEvent = api.Event
+	// CreateRequest is the JSON body of POST /v1/sessions.
+	CreateRequest = api.CreateSessionRequest
+	// EventsRequest is the JSON body of POST /v1/sessions/{name}/events.
+	EventsRequest = api.EventsRequest
+	// EventsResponse reports how far an ingest batch got.
+	EventsResponse = api.EventsResponse
+	// ReachResponse answers one reachability query.
+	ReachResponse = api.ReachAnswer
+	// LineageResponse lists (one page of) the provenance closure of a
+	// vertex.
+	LineageResponse = api.LineageResponse
+	// ListResponse lists sessions.
+	ListResponse = api.ListSessionsResponse
+)
 
 // ToWire converts a run event to its wire form.
-func ToWire(ev run.Event) WireEvent {
-	g, v := int32(ev.Ref.Graph), int32(ev.Ref.V)
-	w := WireEvent{V: int32(ev.V), Graph: &g, Vertex: &v}
-	for _, p := range ev.Preds {
-		w.Preds = append(w.Preds, int32(p))
-	}
-	return w
-}
+func ToWire(ev run.Event) WireEvent { return api.FromRun(ev) }
 
 // ToWireNamed converts a named event to its wire form.
-func ToWireNamed(ev core.NamedEvent) WireEvent {
-	w := WireEvent{V: int32(ev.V), Name: ev.Name}
-	for _, p := range ev.Preds {
-		w.Preds = append(w.Preds, int32(p))
-	}
-	return w
-}
-
-func (w WireEvent) preds() []graph.VertexID {
-	out := make([]graph.VertexID, len(w.Preds))
-	for i, p := range w.Preds {
-		out[i] = graph.VertexID(p)
-	}
-	return out
-}
-
-// CreateRequest is the JSON body of POST /v1/sessions.
-type CreateRequest struct {
-	// Name is the new session's registry name.
-	Name string `json:"name"`
-	// Builtin names a built-in specification (BuiltinNames), SpecXML
-	// carries a full specification inline; exactly one must be set.
-	Builtin string `json:"builtin,omitempty"`
-	SpecXML string `json:"spec_xml,omitempty"`
-	// Skeleton is "TCL" (default) or "BFS"; RMode is "designated"
-	// (default) or "none".
-	Skeleton string `json:"skeleton,omitempty"`
-	RMode    string `json:"rmode,omitempty"`
-	// Shards is the session store's shard count; zero picks the
-	// server's default.
-	Shards int `json:"shards,omitempty"`
-}
-
-// EventsRequest is the JSON body of POST /v1/sessions/{name}/events.
-type EventsRequest struct {
-	Events []WireEvent `json:"events"`
-}
-
-// EventsResponse reports how far a batch got.
-type EventsResponse struct {
-	// Applied is the number of events ingested from this batch.
-	Applied int `json:"applied"`
-	// Vertices is the session's labeled-vertex total afterwards.
-	Vertices int64 `json:"vertices"`
-}
-
-// ReachResponse answers one reachability query.
-type ReachResponse struct {
-	// From and To echo the queried vertices.
-	From int32 `json:"from"`
-	To   int32 `json:"to"`
-	// Reachable reports whether From reaches To (reflexive).
-	Reachable bool `json:"reachable"`
-}
-
-// LineageResponse lists the provenance closure of a vertex.
-type LineageResponse struct {
-	// Of echoes the queried vertex.
-	Of int32 `json:"of"`
-	// Ancestors are the labeled vertices that reach Of, ascending.
-	Ancestors []int32 `json:"ancestors"`
-}
-
-// ListResponse lists sessions.
-type ListResponse struct {
-	// Sessions holds one Stats snapshot per open session, sorted by
-	// name.
-	Sessions []Stats `json:"sessions"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-	// Applied is set on partial event batches.
-	Applied int `json:"applied,omitempty"`
-}
+func ToWireNamed(ev core.NamedEvent) WireEvent { return api.FromNamed(ev) }
 
 // NewHandler returns the HTTP handler serving the registry.
 func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		handleCreate(reg, w, r)
-	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		resp := ListResponse{Sessions: []Stats{}}
-		for _, name := range reg.Names() {
-			if s, ok := reg.Get(name); ok {
-				resp.Sessions = append(resp.Sessions, s.Stats())
-			}
+	routes := []struct {
+		path    string
+		legacy  bool // also serve the unversioned path (deprecated)
+		methods map[string]http.HandlerFunc
+	}{
+		{"/sessions", true, map[string]http.HandlerFunc{
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleCreate(reg, w, r) },
+			http.MethodGet:  func(w http.ResponseWriter, r *http.Request) { handleList(reg, w) },
+		}},
+		{"/sessions/{name}", true, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					writeJSON(w, http.StatusOK, s.Stats())
+				}
+			},
+			http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
+				if !reg.Delete(r.PathValue("name")) {
+					writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", r.PathValue("name")))
+					return
+				}
+				w.WriteHeader(http.StatusNoContent)
+			},
+		}},
+		{"/sessions/{name}/stats", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					writeJSON(w, http.StatusOK, s.Stats())
+				}
+			},
+		}},
+		{"/sessions/{name}/events", true, map[string]http.HandlerFunc{
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleEvents(s, w, r)
+				}
+			},
+		}},
+		{"/sessions/{name}/reach", true, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleReach(s, w, r)
+				}
+			},
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleReachBatch(s, w, r)
+				}
+			},
+		}},
+		{"/sessions/{name}/lineage", true, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleLineage(s, w, r)
+				}
+			},
+		}},
+	}
+	for _, rt := range routes {
+		h := methodDispatch(rt.methods)
+		mux.HandleFunc("/v1"+rt.path, h)
+		if rt.legacy {
+			// Deprecated: the unversioned PR-1 surface, kept as a thin
+			// adapter over the same handlers. New clients use /v1.
+			mux.HandleFunc(rt.path, h)
 		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
-		if s := lookup(reg, w, r); s != nil {
-			writeJSON(w, http.StatusOK, s.Stats())
-		}
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
-		if !reg.Delete(r.PathValue("name")) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("name")))
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("POST /v1/sessions/{name}/events", func(w http.ResponseWriter, r *http.Request) {
-		if s := lookup(reg, w, r); s != nil {
-			handleEvents(s, w, r)
-		}
-	})
-	mux.HandleFunc("GET /v1/sessions/{name}/reach", func(w http.ResponseWriter, r *http.Request) {
-		if s := lookup(reg, w, r); s != nil {
-			handleReach(s, w, r)
-		}
-	})
-	mux.HandleFunc("GET /v1/sessions/{name}/lineage", func(w http.ResponseWriter, r *http.Request) {
-		if s := lookup(reg, w, r); s != nil {
-			handleLineage(s, w, r)
-		}
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
 	})
 	return mux
+}
+
+// methodDispatch serves one path: the matching method's handler, or a
+// structured 405 naming the allowed methods. HEAD rides on GET —
+// net/http discards the body it writes.
+func methodDispatch(methods map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(methods)+1)
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	if _, ok := methods[http.MethodGet]; ok {
+		allowed = append(allowed, http.MethodHead)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := r.Method
+		if m == http.MethodHead {
+			m = http.MethodGet
+		}
+		if h, ok := methods[m]; ok {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		writeError(w, api.Errorf(api.CodeMethodNotAllowed, "method %s not allowed", r.Method).
+			WithDetail("allow %s", allow))
+	}
 }
 
 func lookup(reg *Registry, w http.ResponseWriter, r *http.Request) *Session {
 	s, ok := reg.Get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("name")))
+		writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", r.PathValue("name")))
 		return nil
 	}
 	return s
 }
 
+func handleList(reg *Registry, w http.ResponseWriter) {
+	resp := api.ListSessionsResponse{Sessions: []Stats{}}
+	for _, name := range reg.Names() {
+		if s, ok := reg.Get(name); ok {
+			resp.Sessions = append(resp.Sessions, s.Stats())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
-	var req CreateRequest
+	var req api.CreateSessionRequest
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/xml") || strings.HasPrefix(ct, "text/xml") {
 		// Raw XML upload: the body is the specification, options travel
 		// in query parameters.
 		s, err := wfxml.DecodeSpec(r.Body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.Errorf(api.CodeBadSpec, "%v", err))
 			return
 		}
 		q := r.URL.Query()
@@ -203,7 +209,7 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 		if qs := q.Get("shards"); qs != "" {
 			n, err := strconv.Atoi(qs)
 			if err != nil || n < 0 {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("shards wants a non-negative integer, got %q", qs))
+				writeError(w, api.Errorf(api.CodeBadRequest, "shards wants a non-negative integer, got %q", qs))
 				return
 			}
 			shards = n
@@ -212,29 +218,29 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		writeError(w, api.Errorf(api.CodeBadJSON, "bad JSON body: %v", err))
 		return
 	}
 	var sp *spec.Spec
 	switch {
 	case req.Builtin != "" && req.SpecXML != "":
-		writeError(w, http.StatusBadRequest, fmt.Errorf("builtin and spec_xml are mutually exclusive"))
+		writeError(w, api.Errorf(api.CodeBadRequest, "builtin and spec_xml are mutually exclusive"))
 		return
 	case req.Builtin != "":
 		var ok bool
 		if sp, ok = Builtin(req.Builtin); !ok {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("unknown builtin %q (have %s)", req.Builtin, strings.Join(BuiltinNames(), ", ")))
+			writeError(w, api.Errorf(api.CodeUnknownBuiltin, "unknown builtin %q", req.Builtin).
+				WithDetail("have %s", strings.Join(BuiltinNames(), ", ")))
 			return
 		}
 	case req.SpecXML != "":
 		var err error
 		if sp, err = wfxml.DecodeSpec(strings.NewReader(req.SpecXML)); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.Errorf(api.CodeBadSpec, "%v", err))
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("one of builtin or spec_xml is required"))
+		writeError(w, api.Errorf(api.CodeBadRequest, "one of builtin or spec_xml is required"))
 		return
 	}
 	createSession(reg, w, req.Name, sp, req.Skeleton, req.RMode, req.Shards)
@@ -242,41 +248,41 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 
 func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.Spec, skelName, modeName string, shards int) {
 	if name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("session name is required"))
+		writeError(w, api.Errorf(api.CodeBadRequest, "session name is required"))
 		return
 	}
 	if shards < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("shards must be non-negative, got %d", shards))
+		writeError(w, api.Errorf(api.CodeBadRequest, "shards must be non-negative, got %d", shards))
 		return
 	}
 	if reg.Durable() {
 		// Report unusable names as a client error; Create would reject
 		// them anyway, but with a conflict status.
 		if err := validateSessionName(name); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
 	}
 	cfg, err := parseConfig(skelName, modeName)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
 	cfg.Shards = shards
 	g, err := spec.Compile(sp)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, api.Errorf(api.CodeBadSpec, "%v", err))
 		return
 	}
 	s, err := reg.Create(name, g, cfg)
 	if err != nil {
 		// Name collisions (including leftover on-disk data) are the
-		// client's problem; a registry that cannot persist is not.
-		status := http.StatusConflict
-		if errors.Is(err, ErrDurability) {
-			status = http.StatusInternalServerError
+		// client's problem; a registry that cannot persist is not —
+		// toAPIError maps ErrDurability to a 5xx.
+		if !errors.Is(err, ErrDurability) {
+			err = api.Errorf(api.CodeSessionExists, "%v", err)
 		}
-		writeError(w, status, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.Stats())
@@ -302,137 +308,222 @@ func parseConfig(skelName, modeName string) (Config, error) {
 }
 
 func handleEvents(s *Session, w http.ResponseWriter, r *http.Request) {
-	var req EventsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+	if strings.HasPrefix(r.Header.Get("Content-Type"), api.ContentTypeFrame) {
+		handleEventsBinary(s, w, r)
 		return
 	}
-	// Events are split into maximal same-form sub-batches in order; each
-	// flush remembers the request index of its first event so errors
-	// name the position in the submitted batch, not the sub-batch.
-	applied := 0
-	flushRef := func(base int, evs []run.Event) error {
-		n, err := s.Append(evs)
-		applied += n
-		if err != nil {
-			return fmt.Errorf("event %d: %w", base+n, err)
-		}
-		return nil
+	var req api.EventsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, api.Errorf(api.CodeBadJSON, "bad JSON body: %v", err))
+		return
 	}
-	flushNamed := func(base int, evs []core.NamedEvent) error {
-		n, err := s.AppendNamed(evs)
-		applied += n
-		if err != nil {
-			return fmt.Errorf("event %d: %w", base+n, err)
-		}
-		return nil
-	}
-	var refs []run.Event
-	var named []core.NamedEvent
-	refBase, namedBase := 0, 0
-	var err error
+	recs := make([]wal.Record, len(req.Events))
 	for i, ev := range req.Events {
-		switch {
-		case ev.Name != "" && (ev.Graph != nil || ev.Vertex != nil):
-			err = fmt.Errorf("event %d: name and graph/vertex are mutually exclusive", i)
-		case ev.Name != "":
-			if len(refs) > 0 {
-				err = flushRef(refBase, refs)
-				refs = nil
-			}
-			if len(named) == 0 {
-				namedBase = i
-			}
-			named = append(named, core.NamedEvent{V: graph.VertexID(ev.V), Name: ev.Name, Preds: ev.preds()})
-		case ev.Graph != nil && ev.Vertex != nil:
-			if len(named) > 0 {
-				err = flushNamed(namedBase, named)
-				named = nil
-			}
-			if len(refs) == 0 {
-				refBase = i
-			}
-			refs = append(refs, run.Event{
-				V:     graph.VertexID(ev.V),
-				Ref:   spec.VertexRef{Graph: spec.GraphID(*ev.Graph), V: graph.VertexID(*ev.Vertex)},
-				Preds: ev.preds(),
-			})
-		default:
-			err = fmt.Errorf("event %d: needs either name or graph+vertex", i)
-		}
+		rec, err := ev.Record()
 		if err != nil {
+			writeError(w, api.Errorf(api.CodeBadEvent, "event %d: %s", i, api.AsError(err, api.CodeBadEvent).Message))
+			return
+		}
+		recs[i] = rec
+	}
+	applied, err := s.AppendRecords(recs, nil)
+	if err != nil {
+		writeIngestError(w, err, applied)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.EventsResponse{Applied: applied, Vertices: s.Vertices()})
+}
+
+// handleEventsBinary ingests a ContentTypeFrame body: a concatenation
+// of binary event frames (internal/api), applied in order in chunks.
+// On a durable session each accepted frame is teed to the write-ahead
+// log byte-for-byte — the frame formats are identical, so nothing is
+// re-encoded. Like the JSON route, a failure mid-stream leaves the
+// applied prefix ingested and reports it.
+func handleEventsBinary(s *Session, w http.ResponseWriter, r *http.Request) {
+	const chunkSize = 512
+	fr := api.NewFrameReader(r.Body)
+	recs := make([]wal.Record, 0, chunkSize)
+	// Frames are only kept (copied out of the reader's reused buffer)
+	// when there is a log to tee them to; a memory session ingests the
+	// records alone, copy-free.
+	var frames [][]byte
+	if s.durable {
+		frames = make([][]byte, 0, chunkSize)
+	}
+	applied := 0
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		n, err := s.AppendRecords(recs, frames)
+		applied += n
+		recs = recs[:0]
+		if frames != nil {
+			frames = frames[:0]
+		}
+		return err
+	}
+	for {
+		rec, frame, err := fr.Next()
+		if errors.Is(err, io.EOF) {
 			break
 		}
-	}
-	if err == nil && len(refs) > 0 {
-		err = flushRef(refBase, refs)
-	}
-	if err == nil && len(named) > 0 {
-		err = flushNamed(namedBase, named)
-	}
-	if err != nil {
-		// Invalid events are the client's fault; a session that cannot
-		// write its log is the server's.
-		status := http.StatusBadRequest
-		if errors.Is(err, ErrDurability) {
-			status = http.StatusInternalServerError
+		if err != nil {
+			// The decoded prefix is a valid partial execution: apply it,
+			// then report the damage with the applied count.
+			if ferr := flush(); ferr != nil {
+				writeIngestError(w, ferr, applied)
+				return
+			}
+			writeErrorApplied(w, api.AsError(err, api.CodeBadFrame), applied)
+			return
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error(), Applied: applied})
+		recs = append(recs, rec)
+		if frames != nil {
+			frames = append(frames, append([]byte(nil), frame...))
+		}
+		if len(recs) >= chunkSize {
+			if err := flush(); err != nil {
+				writeIngestError(w, err, applied)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		writeIngestError(w, err, applied)
 		return
 	}
-	writeJSON(w, http.StatusOK, EventsResponse{Applied: applied, Vertices: s.Vertices()})
+	writeJSON(w, http.StatusOK, api.EventsResponse{Applied: applied, Vertices: s.Vertices()})
+}
+
+// writeIngestError reports an AppendRecords failure: a poisoned
+// durable session is the server's fault, anything else is the event
+// at the failing index (== applied, counted over the whole request).
+func writeIngestError(w http.ResponseWriter, err error, applied int) {
+	if errors.Is(err, ErrDurability) {
+		writeErrorApplied(w, err, applied)
+		return
+	}
+	writeErrorApplied(w, api.Errorf(api.CodeBadEvent, "event %d: %v", applied, err), applied)
 }
 
 func handleReach(s *Session, w http.ResponseWriter, r *http.Request) {
 	from, err1 := parseVertex(r.URL.Query().Get("from"))
 	to, err2 := parseVertex(r.URL.Query().Get("to"))
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reach wants numeric from and to query params"))
+		writeError(w, api.Errorf(api.CodeBadVertex, "reach wants numeric from and to query params"))
 		return
 	}
 	ok, err := s.Reach(from, to)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ReachResponse{From: int32(from), To: int32(to), Reachable: ok})
+	writeJSON(w, http.StatusOK, api.ReachAnswer{From: int32(from), To: int32(to), Reachable: ok})
+}
+
+func handleReachBatch(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req api.BatchReachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, api.Errorf(api.CodeBadJSON, "bad JSON body: %v", err))
+		return
+	}
+	if len(req.Pairs) > api.MaxReachPairs {
+		writeError(w, api.Errorf(api.CodeBadRequest, "batch of %d pairs exceeds the %d-pair cap", len(req.Pairs), api.MaxReachPairs))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.BatchReachResponse{Results: s.ReachBatch(req.Pairs)})
 }
 
 func handleLineage(s *Session, w http.ResponseWriter, r *http.Request) {
-	of, err := parseVertex(r.URL.Query().Get("of"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("lineage wants a numeric of query param"))
+	q := r.URL.Query()
+	of, perr := parseVertex(q.Get("of"))
+	if perr != nil {
+		writeError(w, api.Errorf(api.CodeBadVertex, "lineage wants a numeric of query param"))
 		return
 	}
-	anc, err := s.Lineage(of)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	cursor, limitStr := q.Get("cursor"), q.Get("limit")
+	if cursor == "" && limitStr == "" {
+		// Deprecated: the unpaginated full closure in one response.
+		anc, err := s.Lineage(of)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, lineageResponse(of, anc, false))
 		return
 	}
-	resp := LineageResponse{Of: int32(of), Ancestors: []int32{}}
+	limit := api.DefaultLineageLimit
+	if limitStr != "" {
+		n, err := strconv.Atoi(limitStr)
+		if err != nil || n <= 0 {
+			writeError(w, api.Errorf(api.CodeBadRequest, "limit wants a positive integer, got %q", limitStr))
+			return
+		}
+		limit = min(n, api.MaxLineageLimit)
+	}
+	after := graph.None
+	if cursor != "" {
+		v, perr := parseVertex(cursor)
+		if perr != nil {
+			writeError(w, perr.WithDetail("cursor must be a vertex id from next_cursor"))
+			return
+		}
+		after = v
+	}
+	page, more, err := s.LineagePage(of, after, limit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lineageResponse(of, page, more))
+}
+
+func lineageResponse(of graph.VertexID, anc []graph.VertexID, more bool) api.LineageResponse {
+	resp := api.LineageResponse{Of: int32(of), Ancestors: make([]int32, 0, len(anc))}
 	for _, v := range anc {
 		resp.Ancestors = append(resp.Ancestors, int32(v))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if more && len(anc) > 0 {
+		resp.NextCursor = strconv.Itoa(int(anc[len(anc)-1]))
+	}
+	return resp
 }
 
-func parseVertex(s string) (graph.VertexID, error) {
+func parseVertex(s string) (graph.VertexID, *api.Error) {
 	n, err := strconv.ParseInt(s, 10, 32)
 	if err != nil {
-		return graph.None, err
+		return graph.None, api.Errorf(api.CodeBadVertex, "vertex id %q is not an integer", s)
 	}
 	if n < 0 {
-		return graph.None, fmt.Errorf("negative vertex id %d", n)
+		return graph.None, api.Errorf(api.CodeBadVertex, "negative vertex id %d", n)
 	}
 	return graph.VertexID(n), nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.ContentTypeJSON)
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+// toAPIError maps any handler error onto the structured model: typed
+// errors pass through, a poisoned durable session is
+// CodeSessionPoisoned, anything else is the client's bad request.
+func toAPIError(err error) *api.Error {
+	if errors.Is(err, ErrDurability) {
+		return &api.Error{Code: api.CodeSessionPoisoned, Message: err.Error()}
+	}
+	return api.AsError(err, api.CodeBadRequest)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	ae := toAPIError(err)
+	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorResponse{Err: ae})
+}
+
+func writeErrorApplied(w http.ResponseWriter, err error, applied int) {
+	ae := toAPIError(err)
+	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorResponse{Err: ae, Applied: applied})
 }

@@ -34,8 +34,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfreach/internal/api"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
+	"wfreach/internal/label"
 	"wfreach/internal/run"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
@@ -63,34 +65,9 @@ type ShardStat = store.ShardStat
 // Stats is a point-in-time snapshot of one session. Vertices counts
 // every labeled vertex, including those recovered by Restore; Batches
 // counts only the batches ingested since the session was opened or
-// restored in this process.
-type Stats struct {
-	// Name is the session's registry name.
-	Name string `json:"name"`
-	// Class is the grammar's recursion class.
-	Class string `json:"class"`
-	// Skeleton is the specification-labeling scheme ("TCL" or "BFS").
-	Skeleton string `json:"skeleton"`
-	// Mode is the recursion-compression mode.
-	Mode string `json:"mode"`
-	// Vertices is the number of labeled vertices.
-	Vertices int64 `json:"vertices"`
-	// Batches is the number of event batches ingested.
-	Batches int64 `json:"batches"`
-	// LabelBits is the total size of the stored encoded labels.
-	LabelBits int `json:"label_bits"`
-	// SkeletonBits is the size of the shared skeleton labeling.
-	SkeletonBits int `json:"skeleton_bits"`
-	// PublishEpoch counts the store publishes that made new labels
-	// visible to the query path (roughly: batches, plus restores).
-	PublishEpoch int64 `json:"publish_epoch"`
-	// Shards reports each store shard's published vertex count and
-	// view epoch, in shard order.
-	Shards []ShardStat `json:"shards,omitempty"`
-	// Durable reports whether the session persists its events to a
-	// write-ahead log (see NewDurableRegistry).
-	Durable bool `json:"durable,omitempty"`
-}
+// restored in this process. The wire shape is owned by internal/api
+// (SessionStats).
+type Stats = api.SessionStats
 
 // Session is one live labeling session: a grammar, a streaming
 // labeler, and the encoded labels issued so far.
@@ -354,6 +331,59 @@ func (s *Session) AppendNamed(events []core.NamedEvent) (int, error) {
 	return s.finishLocked(applied, staged, err)
 }
 
+// AppendRecords ingests a batch of WAL-form records — the two event
+// forms may be mixed freely — with Append's pipeline, partial-batch
+// and durability semantics. When frames is non-nil it must hold one
+// pre-encoded, CRC-verified wire frame per record (see internal/api:
+// the binary ingest frame is byte-identical to the WAL frame); a
+// durable session then tees each accepted frame to its log as-is,
+// skipping the re-encode the JSON route pays. With frames nil the
+// records are framed here.
+func (s *Session) AppendRecords(recs []wal.Record, frames [][]byte) (int, error) {
+	if frames != nil && len(frames) != len(recs) {
+		return 0, fmt.Errorf("service: %d frames for %d records", len(frames), len(recs))
+	}
+	s.ingestMu.Lock()
+	if s.ioErr != nil {
+		s.ingestMu.Unlock()
+		return 0, s.ioErr
+	}
+	staged := make([]store.Entry, 0, len(recs))
+	applied := len(recs)
+	var err error
+	for i := range recs {
+		var (
+			v    graph.VertexID
+			l    label.Label
+			lerr error
+		)
+		if recs[i].Named {
+			v = recs[i].NamedEv.V
+			l, lerr = s.labeler.InsertNamed(recs[i].NamedEv)
+		} else {
+			v = recs[i].Ref.V
+			l, lerr = s.labeler.Insert(recs[i].Ref)
+		}
+		if lerr != nil {
+			applied, err = i, fmt.Errorf("service: %w", lerr)
+			break
+		}
+		var werr error
+		if frames != nil {
+			werr = s.logFrame(frames[i])
+		} else {
+			werr = s.logRecord(recs[i])
+		}
+		if werr != nil {
+			s.publishStaged(staged)
+			s.ingestMu.Unlock()
+			return i, werr
+		}
+		staged = append(staged, store.Entry{V: v, Enc: s.store.Encode(l)})
+	}
+	return s.finishLocked(applied, staged, err)
+}
+
 // publishStaged appends the batch's encoded labels to the store
 // shard-grouped and publishes them — the single point where a batch
 // becomes visible to the lock-free query path. Called with ingestMu
@@ -407,12 +437,33 @@ func (s *Session) Reach(v, w graph.VertexID) (bool, error) {
 	bv, okv := s.store.GetRaw(v)
 	bw, okw := s.store.GetRaw(w)
 	if !okv {
-		return false, fmt.Errorf("service: vertex %d not labeled yet", v)
+		return false, api.Errorf(api.CodeVertexNotLabeled, "vertex %d not labeled yet", v)
 	}
 	if !okw {
-		return false, fmt.Errorf("service: vertex %d not labeled yet", w)
+		return false, api.Errorf(api.CodeVertexNotLabeled, "vertex %d not labeled yet", w)
 	}
 	return s.store.ReachBytes(bv, bw)
+}
+
+// ReachBatch answers many reachability pairs in one call, one answer
+// per pair in request order. Pair-level failures (an unlabeled
+// vertex) are reported inline on the answer — one unanswerable pair
+// never invalidates the batch, which is what lets a client amortize
+// a roundtrip over dozens of questions. Like Reach, the whole batch
+// runs lock-free against the published shard views.
+func (s *Session) ReachBatch(pairs []api.ReachPair) []api.ReachAnswer {
+	out := make([]api.ReachAnswer, len(pairs))
+	for i, p := range pairs {
+		out[i] = api.ReachAnswer{From: p.From, To: p.To}
+		ok, err := s.Reach(graph.VertexID(p.From), graph.VertexID(p.To))
+		if err != nil {
+			ae := api.AsError(err, api.CodeInternal)
+			out[i].Code, out[i].Error = ae.Code, ae.Message
+			continue
+		}
+		out[i].Reachable = ok
+	}
+	return out
 }
 
 // Lineage returns the labeled vertices that reach v (its provenance
@@ -423,9 +474,37 @@ func (s *Session) Reach(v, w graph.VertexID) (bool, error) {
 func (s *Session) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
 	out, err := s.store.Lineage(v)
 	if err != nil {
-		return nil, fmt.Errorf("service: vertex %d not labeled yet", v)
+		return nil, api.Errorf(api.CodeVertexNotLabeled, "vertex %d not labeled yet", v)
 	}
 	return out, nil
+}
+
+// LineagePage returns up to limit ancestors of v with vertex id
+// strictly greater than after (pass graph.None to start), ascending,
+// plus whether more remain. Ancestor ids are the pagination cursor:
+// labels are write-once, so an ancestor reported on one page stays
+// correct forever, and a scan resumed at the cursor only ever misses
+// ancestors published after that page was served — re-running the
+// scan picks them up. limit must be positive. Note that every page
+// pays the full closure scan (reachability lives in the labels; there
+// is no ancestor index to seek into): pagination bounds response
+// sizes, not server work, so callers wanting the whole closure should
+// use large pages.
+func (s *Session) LineagePage(v graph.VertexID, after graph.VertexID, limit int) (page []graph.VertexID, more bool, err error) {
+	if limit <= 0 {
+		return nil, false, api.Errorf(api.CodeBadRequest, "lineage page limit must be positive, got %d", limit)
+	}
+	all, err := s.Lineage(v)
+	if err != nil {
+		return nil, false, err
+	}
+	// all is ascending; the page starts past the cursor.
+	i, _ := slices.BinarySearch(all, after+1)
+	rest := all[i:]
+	if len(rest) > limit {
+		return rest[:limit], true, nil
+	}
+	return rest, false, nil
 }
 
 // Vertices returns the number of labeled vertices, without locking.

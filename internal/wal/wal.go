@@ -56,10 +56,16 @@ const (
 	kindNamed = 0x02 // core.NamedEvent: module-name identified
 )
 
-// maxPayload caps a record payload at 1 MiB. Real events are tens of
+// MaxPayload caps a record payload at 1 MiB. Real events are tens of
 // bytes; the cap stops a corrupt length prefix from allocating
-// gigabytes before the CRC check can reject it.
-const maxPayload = 1 << 20
+// gigabytes before the CRC check can reject it. The cap is part of the
+// frame format: internal/api reuses it for the binary ingest frame,
+// which is byte-identical to the WAL frame.
+const MaxPayload = 1 << 20
+
+// FrameHeaderSize is the fixed frame prefix: a uint32 LE payload
+// length followed by a uint32 LE CRC-32 (IEEE) of the payload.
+const FrameHeaderSize = 8
 
 // ErrCorrupt reports a file whose checksum or structure is invalid.
 // For logs it is only returned wrapped in tail positions that Scan
@@ -153,8 +159,29 @@ func (r *payloadReader) preds() ([]graph.VertexID, error) {
 	return out, nil
 }
 
-// decodePayload parses one record payload.
-func decodePayload(b []byte) (Record, error) {
+// AppendFrame appends one record in the log's frame format — the
+// 8-byte header (FrameHeaderSize) followed by the payload — onto buf
+// and returns the extended slice. The bytes are exactly what
+// Log.Append writes, which is what lets a server accept pre-framed
+// records off the wire and tee them to the log without re-encoding.
+// A record whose payload would exceed MaxPayload is rejected with buf
+// unchanged.
+func AppendFrame(buf []byte, rec Record) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, make([]byte, FrameHeaderSize)...)
+	buf = appendPayload(buf, rec)
+	payload := buf[start+FrameHeaderSize:]
+	if len(payload) > MaxPayload {
+		return buf[:start], fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte format cap", len(payload), MaxPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// DecodeRecord parses one record payload (the bytes after a frame
+// header, already CRC-verified by the caller).
+func DecodeRecord(b []byte) (Record, error) {
 	if len(b) == 0 {
 		return Record{}, fmt.Errorf("%w: empty payload", ErrCorrupt)
 	}
@@ -229,7 +256,7 @@ func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64
 		}
 		length := binary.LittleEndian.Uint32(frame[0:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
-		if length == 0 || length > maxPayload {
+		if length == 0 || length > MaxPayload {
 			return n, validSize, nil
 		}
 		if cap(payload) < int(length) {
@@ -242,7 +269,7 @@ func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64
 		if crc32.ChecksumIEEE(payload) != sum {
 			return n, validSize, nil // bit rot or torn overwrite
 		}
-		rec, err := decodePayload(payload)
+		rec, err := DecodeRecord(payload)
 		if err != nil {
 			return n, validSize, nil // framed but malformed: treat as tail damage
 		}
@@ -318,17 +345,38 @@ func (l *Log) Append(rec Record) error {
 	if l.closed {
 		return errClosed
 	}
-	l.buf = appendPayload(l.buf[:0], rec)
-	if len(l.buf) > maxPayload {
-		return fmt.Errorf("wal: record payload %d bytes exceeds the %d-byte format cap", len(l.buf), maxPayload)
-	}
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(l.buf)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(l.buf))
-	if _, err := l.w.Write(frame[:]); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	var err error
+	if l.buf, err = AppendFrame(l.buf[:0], rec); err != nil {
+		return err
 	}
 	if _, err := l.w.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.appendSeq.Add(1)
+	return nil
+}
+
+// AppendRaw buffers one pre-framed record — header plus payload,
+// exactly as AppendFrame produces. The frame's structure (length
+// prefix consistent with the slice, within MaxPayload) is validated;
+// its CRC is not recomputed — the caller must have verified it when
+// the frame was received, because a corrupt frame written here would
+// silently truncate recovery at this record. Like Append, the record
+// is not durable until the next Flush.
+func (l *Log) AppendRaw(frame []byte) error {
+	if len(frame) < FrameHeaderSize {
+		return fmt.Errorf("wal: raw frame of %d bytes is shorter than the %d-byte header", len(frame), FrameHeaderSize)
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	if length == 0 || length > MaxPayload || int(length) != len(frame)-FrameHeaderSize {
+		return fmt.Errorf("wal: raw frame header declares %d payload bytes, frame carries %d", length, len(frame)-FrameHeaderSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.appendSeq.Add(1)

@@ -298,7 +298,7 @@ func TestAppendRejectsOversizedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	big := NamedRecord(core.NamedEvent{V: 1, Name: strings.Repeat("x", maxPayload)})
+	big := NamedRecord(core.NamedEvent{V: 1, Name: strings.Repeat("x", MaxPayload)})
 	if err := l.Append(big); err == nil {
 		t.Fatal("oversized record accepted")
 	}

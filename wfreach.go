@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
@@ -319,6 +320,16 @@ type SyntheticParams = wfspecs.SyntheticParams
 func Synthetic(p SyntheticParams) *Spec { return wfspecs.Synthetic(p) }
 
 // XML persistence (Section 7.1 stores all data as XML).
+
+// SpecXML renders a specification as its XML document — the form the
+// service create request carries inline in its spec_xml field.
+func SpecXML(s *Spec) (string, error) {
+	var b strings.Builder
+	if err := wfxml.EncodeSpec(&b, s); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
 
 // SaveSpec writes a specification to an XML file.
 func SaveSpec(path string, s *Spec) error {
