@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"wfreach/internal/api"
@@ -80,6 +81,9 @@ const (
 	CodeSessionExists    = api.CodeSessionExists
 	CodeVertexNotLabeled = api.CodeVertexNotLabeled
 	CodeSessionPoisoned  = api.CodeSessionPoisoned
+	CodeReadOnly         = api.CodeReadOnly
+	CodeNotFollower      = api.CodeNotFollower
+	CodeNotDurable       = api.CodeNotDurable
 	CodeMethodNotAllowed = api.CodeMethodNotAllowed
 	CodeNotFound         = api.CodeNotFound
 	CodeInternal         = api.CodeInternal
@@ -88,11 +92,12 @@ const (
 
 // Client talks to one wfserve instance.
 type Client struct {
-	base    string
-	prefix  string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	prefix     string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	noRedirect bool
 }
 
 // Option configures a Client.
@@ -110,6 +115,15 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries = retries; c.backoff = backoff }
 }
+
+// WithoutWriteRedirect disables the follower-aware write redirect.
+// By default, a write rejected by a read-only follower (CodeReadOnly,
+// with the primary's base URL in the error detail) is re-sent to the
+// primary once — safe even for non-idempotent ingest, because the
+// follower rejected the write without applying anything. Disable it
+// to surface the rejection instead (use PrimaryFromError to route by
+// hand).
+func WithoutWriteRedirect() Option { return func(c *Client) { c.noRedirect = true } }
 
 // WithUnversionedPaths switches the client onto the deprecated
 // unversioned route prefix (the pre-/v1 surface kept as an adapter).
@@ -153,10 +167,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ret
 
 func (c *Client) doRaw(ctx context.Context, method, path, contentType string, body []byte, out any, retryable bool) error {
 	backoff := c.backoff
+	base := c.base
+	redirected := false
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, contentType, body, out)
+		err := c.once(ctx, base, method, path, contentType, body, out)
 		if err == nil {
 			return nil
+		}
+		if !redirected && !c.noRedirect {
+			if primary, ok := api.PrimaryFromError(err); ok {
+				// A read-only follower rejected a write without applying
+				// anything; re-send it to the primary it named, once.
+				base = strings.TrimRight(primary, "/")
+				redirected = true
+				continue
+			}
 		}
 		if !retryable || attempt >= c.retries || !transient(err) {
 			return err
@@ -180,12 +205,12 @@ func transient(err error) bool {
 	return true // transport error
 }
 
-func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, base, method, path, contentType string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+c.prefix+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+c.prefix+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}

@@ -1,0 +1,239 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wfreach"
+	"wfreach/client"
+)
+
+// httptestPair is one durable registry served over HTTP.
+type httptestPair struct {
+	reg *wfreach.Registry
+	srv *httptest.Server
+}
+
+func newDurablePair(t *testing.T) *httptestPair {
+	t.Helper()
+	reg, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: t.TempDir(), Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = reg.Close() })
+	srv := httptest.NewServer(wfreach.NewServiceHandler(reg))
+	t.Cleanup(srv.Close)
+	return &httptestPair{reg: reg, srv: srv}
+}
+
+// replicationPair boots a durable primary plus a tailing follower,
+// both served over HTTP, and returns their clients.
+func replicationPair(t *testing.T) (primary, follower *httptestPair) {
+	t.Helper()
+	p := newDurablePair(t)
+	f := newDurablePair(t)
+	fol := wfreach.NewFollower(p.srv.URL, f.reg, wfreach.FollowerOptions{
+		PollInterval: 25 * time.Millisecond,
+	})
+	fol.Start()
+	t.Cleanup(fol.Close)
+	return p, f
+}
+
+// TestWriteRedirect: a write sent to a follower is transparently
+// re-sent to the primary the rejection names; with the redirect
+// disabled the typed error surfaces instead, carrying the primary.
+func TestWriteRedirect(t *testing.T) {
+	p, f := replicationPair(t)
+	ctx := context.Background()
+
+	// The follower's client, writes pointed at the wrong server.
+	fc := client.New(f.srv.URL)
+	st, err := fc.CreateSession(ctx, client.CreateSessionRequest{Name: "redir", Builtin: "RunningExample"})
+	if err != nil {
+		t.Fatalf("redirected create failed: %v", err)
+	}
+	if st.Name != "redir" {
+		t.Fatalf("create stats = %+v", st)
+	}
+	// The session landed on the primary, not the follower's registry.
+	if _, ok := p.reg.Get("redir"); !ok {
+		t.Fatal("redirected create did not reach the primary")
+	}
+
+	events, r := generate(t, "RunningExample", 200, 5)
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	if _, err := fc.IngestFrames(ctx, "redir", wire); err != nil {
+		t.Fatalf("redirected binary ingest failed: %v", err)
+	}
+
+	// The follower replicates what the redirect wrote, and answers
+	// reads itself.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if s, ok := f.reg.Get("redir"); ok && s.Vertices() == int64(len(events)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never replicated the redirected writes")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, err := fc.Reach(ctx, "redir", int32(events[0].V), int32(events[len(events)-1].V))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Reaches(events[0].V, events[len(events)-1].V); got != want {
+		t.Fatalf("replicated reach = %v, want %v", got, want)
+	}
+
+	// Redirect disabled: the typed rejection surfaces, and the primary
+	// hint is recoverable via errors.As / PrimaryFromError.
+	nc := client.New(f.srv.URL, client.WithoutWriteRedirect())
+	_, err = nc.CreateSession(ctx, client.CreateSessionRequest{Name: "nope", Builtin: "RunningExample"})
+	var ae *client.Error
+	if !errors.As(err, &ae) || ae.Code != client.CodeReadOnly {
+		t.Fatalf("undirected create = %v, want CodeReadOnly", err)
+	}
+	if hint, ok := client.PrimaryFromError(err); !ok || hint != p.srv.URL {
+		t.Fatalf("PrimaryFromError = %q/%v, want %q", hint, ok, p.srv.URL)
+	}
+	if _, ok := p.reg.Get("nope"); ok {
+		t.Fatal("disabled redirect still wrote to the primary")
+	}
+}
+
+// TestTailWALClient drives the tail endpoint through the SDK: history
+// without waiting, resumption from a sequence, and typed errors for
+// untailable sessions.
+func TestTailWALClient(t *testing.T) {
+	p := newDurablePair(t)
+	ctx := context.Background()
+	c := client.New(p.srv.URL)
+
+	if _, err := c.CreateSession(ctx, client.CreateSessionRequest{Name: "tw", Builtin: "RunningExample"}); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := generate(t, "RunningExample", 150, 9)
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	if _, err := c.IngestFrames(ctx, "tw", wire); err != nil {
+		t.Fatal(err)
+	}
+
+	tail, err := c.TailWAL(ctx, "tw", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	var last int64
+	for {
+		e, err := tail.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != last+1 || len(e.Frame) == 0 {
+			t.Fatalf("entry seq %d after %d (frame %d bytes)", e.Seq, last, len(e.Frame))
+		}
+		last = e.Seq
+	}
+	if last != int64(len(events)) {
+		t.Fatalf("tailed %d entries, want %d", last, len(events))
+	}
+
+	mid, err := c.TailWAL(ctx, "tw", last-5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	e, err := mid.Next()
+	if err != nil || e.Seq != last-5 {
+		t.Fatalf("resume at %d got seq %d, err %v", last-5, e.Seq, err)
+	}
+
+	// Memory sessions are not tailable.
+	msrv := newServer(t)
+	mc := client.New(msrv.URL)
+	if _, err := mc.CreateSession(ctx, client.CreateSessionRequest{Name: "m", Builtin: "RunningExample"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mc.TailWAL(ctx, "m", 1, false)
+	var ae *client.Error
+	if !errors.As(err, &ae) || ae.Code != client.CodeNotDurable {
+		t.Fatalf("memory tail = %v, want CodeNotDurable", err)
+	}
+}
+
+// TestReplicationStatusAndSpec exercises the status, spec and promote
+// SDK calls against a live pair.
+func TestReplicationStatusAndSpec(t *testing.T) {
+	p, f := replicationPair(t)
+	ctx := context.Background()
+	pc, fc := client.New(p.srv.URL), client.New(f.srv.URL)
+
+	if _, err := pc.CreateSession(ctx, client.CreateSessionRequest{Name: "s", Builtin: "BioAID"}); err != nil {
+		t.Fatal(err)
+	}
+	events, _ := generate(t, "BioAID", 300, 2)
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	if _, err := pc.IngestFrames(ctx, "s", wire); err != nil {
+		t.Fatal(err)
+	}
+
+	pst, err := pc.ReplicationStatus(ctx)
+	if err != nil || pst.Role != client.RolePrimary || len(pst.Sessions) != 1 {
+		t.Fatalf("primary status %+v, %v", pst, err)
+	}
+	if pst.Sessions[0].WALSeq != int64(len(events)) {
+		t.Fatalf("primary WALSeq = %d, want %d", pst.Sessions[0].WALSeq, len(events))
+	}
+
+	// Wait for the follower to drain, via the status API alone.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		fst, err := fc.ReplicationStatus(ctx)
+		if err == nil && fst.Role == client.RoleFollower && fst.Primary == p.srv.URL &&
+			len(fst.Sessions) == 1 && fst.Sessions[0].WALSeq == int64(len(events)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower status never converged: %+v, %v", fst, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	raw, err := fc.SessionSpec(ctx, "s")
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("spec: %d bytes, %v", len(raw), err)
+	}
+
+	// Promote over the wire; the follower reports itself primary after.
+	st, err := fc.Promote(ctx)
+	if err != nil || st.Role != client.RolePrimary {
+		t.Fatalf("promote: %+v, %v", st, err)
+	}
+	if _, err := fc.Promote(ctx); err == nil {
+		t.Fatal("second promote should fail")
+	}
+	if _, err := fc.CreateSession(ctx, client.CreateSessionRequest{Name: "after", Builtin: "RunningExample"}); err != nil {
+		t.Fatalf("create on promoted server: %v", err)
+	}
+	if _, ok := f.reg.Get("after"); !ok {
+		t.Fatal("post-promote create did not land on the promoted server")
+	}
+}

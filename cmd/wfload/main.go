@@ -11,6 +11,18 @@
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify -reach-batch 16
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
 //	wfload -addr http://127.0.0.1:8080 -legacy -verify -cleanup
+//	wfload -addr http://127.0.0.1:8080 -replica http://127.0.0.1:8081 -verify
+//
+// -replica splits the workload across a primary/follower pair: writes
+// stream to -addr while every read goes to the follower at -replica —
+// the scale-out shape replication exists for. The run samples replica
+// lag (the primary's committed WAL sequence minus the follower's
+// applied sequence, per session) throughout, waits for the follower
+// to catch up after ingest finishes, and reports lag percentiles plus
+// the catch-up time; -verify checks the follower's answers against
+// BFS ground truth. Replica reads tolerate vertex_not_labeled — a
+// lagging follower legitimately trails the primary's acknowledged
+// prefix.
 //
 // By default ingest uses the /v1 binary frame stream and queries the
 // /v1 batch-reach endpoint; -reach-batch N amortizes one roundtrip
@@ -66,6 +78,7 @@ import (
 
 type config struct {
 	addr         string
+	replica      string
 	spec         string
 	size         int
 	seed         int64
@@ -88,7 +101,8 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "wfserve base URL")
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "wfserve base URL (the primary: writes go here)")
+	flag.StringVar(&cfg.replica, "replica", "", "follower base URL: send reads there, sample replica lag, wait for catch-up")
 	flag.StringVar(&cfg.spec, "spec", "BioAID", "built-in specification to load")
 	flag.IntVar(&cfg.size, "size", 10000, "target vertices per generated run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base generation seed (session i uses seed+i)")
@@ -155,11 +169,25 @@ func toPercentiles(l *latencies) reportPercentiles {
 	}
 }
 
+// reportLag is the -replica lag section of the report: sampled
+// replica lag in events (primary committed sequence minus follower
+// applied sequence, max across sessions per sample) and how long the
+// follower took to fully catch up once ingest stopped.
+type reportLag struct {
+	Samples    int     `json:"samples"`
+	P50Events  int64   `json:"p50_events"`
+	P90Events  int64   `json:"p90_events"`
+	MaxEvents  int64   `json:"max_events"`
+	CatchupSec float64 `json:"catchup_sec"`
+}
+
 // report is the -json result document: the workload configuration and
 // the measured throughput and latency numbers, in stable units.
 type report struct {
 	Spec             string            `json:"spec"`
 	Mode             string            `json:"mode"` // "v1-binary" or "legacy-json"
+	Replica          string            `json:"replica,omitempty"`
+	ReplicaLag       *reportLag        `json:"replica_lag,omitempty"`
 	Sessions         int               `json:"sessions"`
 	SizePerSession   int               `json:"size_per_session"`
 	Batch            int               `json:"batch"`
@@ -290,6 +318,16 @@ func run(cfg config, out io.Writer) error {
 	}
 	ctx := context.Background()
 	c := newClient(cfg)
+	rc := c // reads go to the replica when one is named
+	if cfg.replica != "" {
+		if cfg.legacy {
+			return fmt.Errorf("-replica needs the /v1 surface; drop -legacy")
+		}
+		if cfg.resume {
+			return fmt.Errorf("-replica and -resume are mutually exclusive")
+		}
+		rc = client.New(cfg.replica, client.WithRetry(0, 0), client.WithoutWriteRedirect())
+	}
 
 	// Generate all streams up front so generation cost stays out of the
 	// measured window (and so -resume can rebuild identical ground
@@ -354,6 +392,62 @@ func run(cfg config, out io.Writer) error {
 		errMu.Unlock()
 	}
 
+	// With a replica, sample its lag throughout the run: the primary's
+	// committed WAL sequence minus the follower's applied sequence,
+	// maxed across the run's sessions.
+	names := make(map[string]bool, len(loads))
+	for _, l := range loads {
+		names[l.name] = true
+	}
+	var lagMu sync.Mutex
+	var lagSamples []int64
+	sessionLag := func() (int64, bool) {
+		pst, err := c.ReplicationStatus(ctx)
+		if err != nil {
+			return 0, false
+		}
+		rst, err := rc.ReplicationStatus(ctx)
+		if err != nil {
+			return 0, false
+		}
+		applied := make(map[string]int64, len(rst.Sessions))
+		for _, s := range rst.Sessions {
+			applied[s.Name] = s.WALSeq
+		}
+		var worst int64
+		for _, s := range pst.Sessions {
+			if !names[s.Name] {
+				continue
+			}
+			if lag := s.WALSeq - applied[s.Name]; lag > worst {
+				worst = lag
+			}
+		}
+		return worst, true
+	}
+	lagStop := make(chan struct{})
+	var lagWG sync.WaitGroup
+	if cfg.replica != "" {
+		lagWG.Add(1)
+		go func() {
+			defer lagWG.Done()
+			ticker := time.NewTicker(200 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-lagStop:
+					return
+				case <-ticker.C:
+				}
+				if lag, ok := sessionLag(); ok {
+					lagMu.Lock()
+					lagSamples = append(lagSamples, lag)
+					lagMu.Unlock()
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	for i := range loads {
 		l := loads[i]
@@ -401,11 +495,12 @@ func run(cfg config, out io.Writer) error {
 						if cfg.legacy {
 							_, err = c.LineageLegacy(ctx, l.name, v)
 						} else {
-							_, err = c.Lineage(ctx, l.name, v)
+							_, err = rc.Lineage(ctx, l.name, v)
 						}
 						queryLat.add(time.Since(t0))
 						if err != nil {
 							queryErrs.Add(1)
+							time.Sleep(time.Millisecond) // a lagging replica is not a spin target
 							continue
 						}
 						lineages.Add(1)
@@ -437,14 +532,18 @@ func run(cfg config, out io.Writer) error {
 						}
 					}
 					t0 := time.Now()
-					answers, err := c.ReachBatch(ctx, l.name, pairs)
+					answers, err := rc.ReachBatch(ctx, l.name, pairs)
 					queryLat.add(time.Since(t0))
 					if err != nil {
 						queryErrs.Add(1)
+						time.Sleep(time.Millisecond) // session not yet on the replica, most likely
 						continue
 					}
 					for _, ans := range answers {
 						if ans.Code != "" {
+							// On a replica, an unlabeled vertex usually just
+							// means lag — the pair trails the primary's
+							// acknowledged prefix.
 							queryErrs.Add(1)
 							continue
 						}
@@ -460,6 +559,34 @@ func run(cfg config, out io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var lag *reportLag
+	if cfg.replica != "" {
+		close(lagStop)
+		lagWG.Wait()
+		// Ingest is done; time the follower draining the rest.
+		catchStart := time.Now()
+		deadline := catchStart.Add(2 * time.Minute)
+		for {
+			worst, ok := sessionLag()
+			if ok && worst <= 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica never caught up (still %d events behind after %v)", worst, time.Since(catchStart).Round(time.Millisecond))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		catchup := time.Since(catchStart)
+		lagMu.Lock()
+		sort.Slice(lagSamples, func(i, j int) bool { return lagSamples[i] < lagSamples[j] })
+		lag = &reportLag{Samples: len(lagSamples), CatchupSec: catchup.Seconds()}
+		if n := len(lagSamples); n > 0 {
+			lag.P50Events = lagSamples[int(0.50*float64(n-1))]
+			lag.P90Events = lagSamples[int(0.90*float64(n-1))]
+			lag.MaxEvents = lagSamples[n-1]
+		}
+		lagMu.Unlock()
+	}
 
 	if firstErr != nil {
 		return firstErr
@@ -481,6 +608,10 @@ func run(cfg config, out io.Writer) error {
 		ql.percentile(0.99).Round(time.Microsecond))
 	if cfg.verify {
 		fmt.Fprintf(out, "verify: %d mismatches over %d checked queries\n", mismatches.Load(), queried.Load())
+	}
+	if lag != nil {
+		fmt.Fprintf(out, "replica lag: p50=%d p90=%d max=%d events over %d samples; caught up %.2fs after ingest\n",
+			lag.P50Events, lag.P90Events, lag.MaxEvents, lag.Samples, lag.CatchupSec)
 	}
 
 	if cfg.cleanup {
@@ -510,6 +641,8 @@ func run(cfg config, out io.Writer) error {
 		rep := report{
 			Spec:             cfg.spec,
 			Mode:             cfg.mode(),
+			Replica:          cfg.replica,
+			ReplicaLag:       lag,
 			Sessions:         cfg.sessions,
 			SizePerSession:   cfg.size,
 			Batch:            cfg.batch,

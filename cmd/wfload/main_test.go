@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"wfreach"
 )
@@ -43,6 +44,68 @@ func TestRunAgainstInProcessServer(t *testing.T) {
 	}
 	if strings.Contains(s, "ingest: 0 events") {
 		t.Fatalf("nothing ingested:\n%s", s)
+	}
+}
+
+// TestRunWithReplica splits the workload across an in-process
+// primary/follower pair: writes to the primary, reads from the
+// follower, lag sampled and catch-up awaited, the report carrying the
+// replica section.
+func TestRunWithReplica(t *testing.T) {
+	preg, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: t.TempDir(), Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer preg.Close()
+	psrv := httptest.NewServer(wfreach.NewServiceHandler(preg))
+	defer psrv.Close()
+
+	freg, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: t.TempDir(), Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer freg.Close()
+	fol := wfreach.NewFollower(psrv.URL, freg, wfreach.FollowerOptions{PollInterval: 25 * time.Millisecond})
+	fol.Start()
+	defer fol.Close()
+	fsrv := httptest.NewServer(wfreach.NewServiceHandler(freg))
+	defer fsrv.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "rep.json")
+	var out bytes.Buffer
+	cfg := config{
+		addr: psrv.URL, replica: fsrv.URL,
+		spec: "RunningExample", size: 600, seed: 3,
+		sessions: 2, batch: 64, readers: 2, reachBatch: 8,
+		verify: true, prefix: "rep", jsonPath: jsonPath,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"replica lag:", "caught up", "0 mismatches"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replica != fsrv.URL || rep.ReplicaLag == nil {
+		t.Fatalf("report replica section = %q / %+v", rep.Replica, rep.ReplicaLag)
+	}
+
+	// Conflicting modes are rejected up front.
+	if err := run(config{addr: psrv.URL, replica: fsrv.URL, legacy: true, spec: "RunningExample"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-replica with -legacy accepted")
+	}
+	if err := run(config{addr: psrv.URL, replica: fsrv.URL, resume: true, spec: "RunningExample"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-replica with -resume accepted")
 	}
 }
 

@@ -28,9 +28,35 @@
 // very large sessions.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops
-// accepting connections, drains in-flight requests, then flushes and
-// closes every session's write-ahead log, so a planned restart never
-// relies on crash recovery.
+// accepting connections, drains in-flight requests (live WAL tails
+// are cut by the shutdown signal so the drain never waits on them),
+// then flushes and closes every session's write-ahead log, so a
+// planned restart never relies on crash recovery.
+//
+// # Replication
+//
+//	wfserve -addr :8081 -data /var/lib/wfreplica -follow http://primary:8080
+//	wfserve -promote http://replica:8081
+//
+// With -follow the server is a read-only follower: it discovers the
+// primary's sessions, tails each session's write-ahead log over
+// GET /v1/sessions/{name}/wal (history first, then live), and replays
+// the shipped frames — byte-identical to both the primary's WAL
+// records and the binary ingest frames — into local sessions teed to
+// its own WAL. It serves the full query surface (reach, batch reach,
+// lineage, stats) while rejecting writes with a structured read_only
+// error naming the primary; the Go SDK redirects such writes
+// automatically. A restarted follower resumes from its own recovered
+// log. GET /v1/replication/status reports role and per-session
+// sequences on both sides; replica lag is the primary's wal_seq minus
+// the follower's.
+//
+// -promote is the failover command: it POSTs /v1/replication/promote
+// to the named follower — final catch-up from the primary if it is
+// still reachable, then flip to writable — prints the resulting
+// status, and exits. The promoted server's WAL is a valid
+// continuation of everything it replicated, so its next restart
+// recovers normally.
 //
 // The versioned /v1 API (wire contract in internal/api, full
 // reference with curl and Go-client snippets in docs/API.md; drive it
@@ -70,6 +96,7 @@ import (
 	"time"
 
 	"wfreach"
+	"wfreach/client"
 )
 
 type sessionFlags []string
@@ -84,6 +111,9 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "with -data: events between label snapshots (0 = default, <0 disables)")
 	shards := flag.Int("shards", 0, "default store shard count per session (0 = built-in default)")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain timeout on shutdown")
+	follow := flag.String("follow", "", "run as a read-only follower replicating the primary at this base URL")
+	followPoll := flag.Duration("follow-poll", 2*time.Second, "with -follow: session-discovery poll interval")
+	promote := flag.String("promote", "", "admin mode: promote the follower at this base URL to writable, print its status, exit")
 	var sessions sessionFlags
 	flag.Var(&sessions, "session", "pre-create a session \"name=Builtin\" (repeatable)")
 	flag.Parse()
@@ -92,8 +122,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		os.Exit(1)
 	}
+	if *promote != "" {
+		if err := runPromote(*promote); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *shards < 0 {
 		fail(fmt.Errorf("-shards must be non-negative, got %d", *shards))
+	}
+	if *follow != "" && len(sessions) > 0 {
+		fail(fmt.Errorf("-session creates sessions, which a -follow replica must not; drop one of the flags"))
 	}
 
 	reg := wfreach.NewRegistry()
@@ -113,11 +152,22 @@ func main() {
 		fmt.Printf("wfserve: durable under %s, restored %d session(s)\n", *dataDir, len(restored))
 		for _, name := range restored {
 			if s, ok := reg.Get(name); ok {
-				fmt.Printf("wfserve: restored %q: %d vertices\n", name, s.Vertices())
+				fmt.Printf("wfserve: restored %q: %d vertices, WAL seq %d\n", name, s.Vertices(), s.WALSeq())
 			}
 		}
 	} else {
 		reg.SetDefaultShards(*shards)
+	}
+	var follower *wfreach.Follower
+	if *follow != "" {
+		follower = wfreach.NewFollower(*follow, reg, wfreach.FollowerOptions{
+			PollInterval: *followPoll,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("wfserve: "+format+"\n", args...)
+			},
+		})
+		follower.Start()
+		fmt.Printf("wfserve: following %s (read-only until promoted)\n", *follow)
 	}
 	for _, sf := range sessions {
 		name, builtin, ok := strings.Cut(sf, "=")
@@ -144,10 +194,15 @@ func main() {
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
 	// close the registry so the WALs end flushed instead of relying on
-	// crash recovery at the next boot.
+	// crash recovery at the next boot. Request contexts derive from the
+	// signal context, so live WAL tails end at the signal instead of
+	// pinning the drain until its timeout.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Handler: wfreach.NewServiceHandler(reg)}
+	srv := &http.Server{
+		Handler:     wfreach.NewServiceHandler(reg),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -157,6 +212,9 @@ func main() {
 	case <-ctx.Done():
 		stop() // a second signal kills the process the default way
 		fmt.Printf("wfserve: shutting down (draining up to %v)\n", *drain)
+		if follower != nil {
+			follower.Close()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -167,6 +225,21 @@ func main() {
 		}
 		fmt.Printf("wfserve: shutdown complete\n")
 	}
+}
+
+// runPromote drives the promote admin endpoint on a running follower.
+func runPromote(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := client.New(base).Promote(ctx)
+	if err != nil {
+		return fmt.Errorf("promote %s: %w", base, err)
+	}
+	fmt.Printf("wfserve: promoted %s to %s\n", base, st.Role)
+	for _, s := range st.Sessions {
+		fmt.Printf("wfserve: session %q at WAL seq %d\n", s.Name, s.WALSeq)
+	}
+	return nil
 }
 
 func createBuiltin(reg *wfreach.Registry, name, builtin string) error {

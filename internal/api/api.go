@@ -21,9 +21,15 @@
 //	POST   /v1/sessions/{name}/reach      batch reachability (BatchReachRequest)
 //	GET    /v1/sessions/{name}/reach      one pair, ?from=&to= (deprecated)
 //	GET    /v1/sessions/{name}/lineage    ?of=&cursor=&limit= (paginated)
+//	GET    /v1/sessions/{name}/spec       the session's specification XML
+//	GET    /v1/sessions/{name}/wal        tail the session's WAL (replication.go)
+//	GET    /v1/replication/status         ReplicationStatus
+//	POST   /v1/replication/promote        follower → writable primary
 //
-// The same paths without the /v1 prefix are served as deprecated
-// legacy adapters; see docs/API.md for the migration table.
+// The same paths without the /v1 prefix (replication endpoints
+// excepted — they postdate the legacy surface) are served as
+// deprecated legacy adapters; see docs/API.md for the migration
+// table.
 package api
 
 import (
@@ -148,6 +154,11 @@ type ShardStat = store.ShardStat
 type SessionStats struct {
 	// Name is the session's registry name.
 	Name string `json:"name"`
+	// ID is the session's stable identity: names are reusable (delete
+	// + recreate), identities are not, which is how a replica tells a
+	// session apart from a new one that took the same name. Empty only
+	// for sessions restored from data written before the field existed.
+	ID string `json:"id,omitempty"`
 	// Class is the grammar's recursion class.
 	Class string `json:"class"`
 	// Skeleton is the specification-labeling scheme ("TCL" or "BFS").

@@ -47,6 +47,18 @@ const (
 	// failed (or was closed); it refuses further ingest while queries
 	// keep working.
 	CodeSessionPoisoned ErrorCode = "session_poisoned"
+	// CodeReadOnly is a write (create, delete, ingest) sent to a
+	// follower replica. The error detail carries the primary's base
+	// URL, Location-style — resend the write there (the Go SDK does so
+	// automatically; see PrimaryFromError).
+	CodeReadOnly ErrorCode = "read_only"
+	// CodeNotFollower is a replication operation (promote) on a server
+	// that is not a follower.
+	CodeNotFollower ErrorCode = "not_follower"
+	// CodeNotDurable is a WAL tail request against a session that has
+	// no write-ahead log to ship (a memory-only session, or one whose
+	// log failed); there is nothing a replica could replay.
+	CodeNotDurable ErrorCode = "not_durable"
 	// CodeMethodNotAllowed is a known path hit with the wrong HTTP
 	// method; the response carries an Allow header.
 	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
@@ -66,10 +78,15 @@ func (c ErrorCode) HTTPStatus() int {
 	switch c {
 	case CodeSessionNotFound, CodeVertexNotLabeled, CodeNotFound:
 		return http.StatusNotFound
-	case CodeSessionExists:
+	case CodeSessionExists, CodeNotFollower:
 		return http.StatusConflict
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
+	case CodeReadOnly:
+		// The request was sent to the wrong server, not malformed; 421
+		// also keeps write-redirect handling out of generic 4xx/5xx
+		// retry logic.
+		return http.StatusMisdirectedRequest
 	case CodeSessionPoisoned, CodeInternal, CodeUnknown:
 		return http.StatusInternalServerError
 	default:
@@ -131,6 +148,18 @@ func AsError(err error, fallback ErrorCode) *Error {
 		return ae
 	}
 	return &Error{Code: fallback, Message: err.Error()}
+}
+
+// PrimaryFromError extracts the primary's base URL from a follower's
+// read-only rejection: a *Error (possibly wrapped) with CodeReadOnly
+// whose detail carries the address. It is how a client discovers
+// where to redirect a misdirected write.
+func PrimaryFromError(err error) (string, bool) {
+	var ae *Error
+	if errors.As(err, &ae) && ae.Code == CodeReadOnly && ae.Detail != "" {
+		return ae.Detail, true
+	}
+	return "", false
 }
 
 // ErrorResponse is the body of every non-2xx response.

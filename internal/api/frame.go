@@ -75,7 +75,6 @@ func (fr *FrameReader) Next() (wal.Record, []byte, error) {
 		return wal.Record{}, nil, Errorf(CodeBadFrame, "truncated frame header: %v", err)
 	}
 	length := binary.LittleEndian.Uint32(header[0:4])
-	sum := binary.LittleEndian.Uint32(header[4:8])
 	if length == 0 || length > MaxFramePayload {
 		return wal.Record{}, nil, Errorf(CodeBadFrame, "frame length %d outside (0, %d]", length, MaxFramePayload)
 	}
@@ -85,18 +84,24 @@ func (fr *FrameReader) Next() (wal.Record, []byte, error) {
 	}
 	fr.frame = fr.frame[:total]
 	copy(fr.frame, header[:])
-	payload := fr.frame[FrameHeaderSize:]
-	if _, err := io.ReadFull(fr.br, payload); err != nil {
+	if _, err := io.ReadFull(fr.br, fr.frame[FrameHeaderSize:]); err != nil {
 		return wal.Record{}, nil, Errorf(CodeBadFrame, "truncated frame payload: want %d bytes: %v", length, err)
 	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		return wal.Record{}, nil, Errorf(CodeBadFrame, "frame CRC mismatch")
-	}
-	rec, err := wal.DecodeRecord(payload)
+	rec, err := decodeVerifiedFrame(fr.frame)
 	if err != nil {
-		return wal.Record{}, nil, Errorf(CodeBadFrame, "bad frame payload: %v", err)
+		return wal.Record{}, nil, Errorf(CodeBadFrame, "bad frame: %v", err)
 	}
 	return rec, fr.frame, nil
+}
+
+// decodeVerifiedFrame checks a complete frame's CRC and decodes its
+// payload into a record (shared by FrameReader and TailReader).
+func decodeVerifiedFrame(frame []byte) (wal.Record, error) {
+	payload := frame[FrameHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return wal.Record{}, errors.New("frame CRC mismatch")
+	}
+	return wal.DecodeRecord(payload)
 }
 
 // DecodeFrames decodes a complete in-memory frame stream into wire

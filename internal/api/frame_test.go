@@ -42,7 +42,7 @@ func TestFrameEncodeMatchesWALBytes(t *testing.T) {
 
 	var wire []byte
 	path := filepath.Join(t.TempDir(), "events.wal")
-	log, err := wal.Open(path, 0, false)
+	log, err := wal.Open(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFrameEncodeMatchesWALBytes(t *testing.T) {
 
 	// And AppendRaw of the wire frames reproduces the same file again.
 	path2 := filepath.Join(t.TempDir(), "raw.wal")
-	log2, err := wal.Open(path2, 0, false)
+	log2, err := wal.Open(path2, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package api
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"wfreach/internal/wal"
+)
+
+// The replication surface of /v1: WAL shipping plus status/promote.
+//
+//	GET  /v1/sessions/{name}/wal?from={seq}&wait={bool}   tail the session's WAL
+//	GET  /v1/sessions/{name}/spec                         the session's spec XML
+//	GET  /v1/replication/status                           ReplicationStatus
+//	POST /v1/replication/promote                          follower → writable
+//
+// A tail response (ContentTypeWAL) is a stream of entries, each an
+// 8-byte little-endian absolute sequence number followed by one raw
+// WAL frame — the identical bytes the primary's log holds, which are
+// the identical bytes the binary ingest route accepted. A follower
+// appends the shipped frames to its own log verbatim, so replication
+// preserves the frame-identity chain end to end: ingest frame ≡ WAL
+// record ≡ shipped frame ≡ replica WAL record.
+
+// ContentTypeWAL marks a WAL tail stream response.
+const ContentTypeWAL = "application/x-wfreach-wal"
+
+// Replication roles reported by ReplicationStatus.
+const (
+	// RolePrimary is a writable server (the default; every server not
+	// following another is a primary, whether or not anything tails it).
+	RolePrimary = "primary"
+	// RoleFollower is a read-only replica tailing a primary.
+	RoleFollower = "follower"
+)
+
+// ReplicationStatus is the body of GET /v1/replication/status.
+type ReplicationStatus struct {
+	// Role is RolePrimary or RoleFollower.
+	Role string `json:"role"`
+	// Primary is the primary's base URL (followers only).
+	Primary string `json:"primary,omitempty"`
+	// Sessions reports per-session replication progress, sorted by
+	// name.
+	Sessions []SessionReplication `json:"sessions"`
+}
+
+// SessionReplication is one session's replication state on this
+// server. WALSeq has the same meaning on both roles — the sequence of
+// the last event committed to this server's own WAL — so a session's
+// replica lag is primary.WALSeq − follower.WALSeq.
+type SessionReplication struct {
+	// Name is the session's registry name.
+	Name string `json:"name"`
+	// WALSeq is the last committed sequence in this server's WAL for
+	// the session (0 for memory-only sessions).
+	WALSeq int64 `json:"wal_seq"`
+	// Durable reports whether the session has a write-ahead log here.
+	Durable bool `json:"durable,omitempty"`
+	// Error is the follower's last tail/apply failure for the session,
+	// if any (cleared on recovery).
+	Error string `json:"error,omitempty"`
+}
+
+// TailSeqSize is the fixed per-entry prefix of a tail stream: the
+// absolute sequence number, uint64 little-endian.
+const TailSeqSize = 8
+
+// AppendTailEntry encodes one tail-stream entry — the sequence prefix
+// plus the raw WAL frame — onto buf and returns the extended slice.
+func AppendTailEntry(buf []byte, seq int64, frame []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seq))
+	return append(buf, frame...)
+}
+
+// TailEntry is one decoded tail-stream entry.
+type TailEntry struct {
+	// Seq is the record's absolute sequence in the primary's WAL.
+	Seq int64
+	// Frame is the raw WAL frame (header plus payload), CRC-verified.
+	// The slice is reused by the reader's following Next call.
+	Frame []byte
+	// Record is the decoded event.
+	Record wal.Record
+}
+
+// TailReader decodes a WAL tail stream entry by entry. Damage — a
+// truncated entry, a CRC mismatch, an undecodable payload — is a
+// *Error with CodeBadFrame; a cleanly ended stream returns io.EOF
+// (the primary closed the response; reconnect and resume from the
+// last applied sequence).
+type TailReader struct {
+	br    *bufio.Reader
+	frame []byte
+}
+
+// NewTailReader wraps r for entry-by-entry decoding.
+func NewTailReader(r io.Reader) *TailReader {
+	return &TailReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Buffered reports whether at least one byte of a further entry has
+// already arrived — the consumer's cue that it can keep batching
+// without blocking on the network.
+func (t *TailReader) Buffered() bool { return t.br.Buffered() > 0 }
+
+// Next returns the next entry. Entry.Frame is reused by the following
+// Next call; consumers that keep it must copy.
+func (t *TailReader) Next() (TailEntry, error) {
+	var seqBuf [TailSeqSize]byte
+	if _, err := io.ReadFull(t.br, seqBuf[:]); err != nil {
+		if err == io.EOF {
+			return TailEntry{}, io.EOF
+		}
+		return TailEntry{}, Errorf(CodeBadFrame, "truncated tail entry: %v", err)
+	}
+	seq := int64(binary.LittleEndian.Uint64(seqBuf[:]))
+	if seq <= 0 {
+		return TailEntry{}, Errorf(CodeBadFrame, "tail entry sequence %d is not positive", seq)
+	}
+	var header [FrameHeaderSize]byte
+	if _, err := io.ReadFull(t.br, header[:]); err != nil {
+		return TailEntry{}, Errorf(CodeBadFrame, "truncated tail frame header at seq %d: %v", seq, err)
+	}
+	length := binary.LittleEndian.Uint32(header[0:4])
+	if length == 0 || length > MaxFramePayload {
+		return TailEntry{}, Errorf(CodeBadFrame, "tail frame length %d outside (0, %d] at seq %d", length, MaxFramePayload, seq)
+	}
+	total := FrameHeaderSize + int(length)
+	if cap(t.frame) < total {
+		t.frame = make([]byte, total)
+	}
+	t.frame = t.frame[:total]
+	copy(t.frame, header[:])
+	if _, err := io.ReadFull(t.br, t.frame[FrameHeaderSize:]); err != nil {
+		return TailEntry{}, Errorf(CodeBadFrame, "truncated tail frame payload at seq %d: %v", seq, err)
+	}
+	rec, err := decodeVerifiedFrame(t.frame)
+	if err != nil {
+		return TailEntry{}, Errorf(CodeBadFrame, "tail frame at seq %d: %v", seq, err)
+	}
+	return TailEntry{Seq: seq, Frame: t.frame, Record: rec}, nil
+}

@@ -1,0 +1,529 @@
+// Package replica is the follower half of WAL-shipping replication: a
+// read replica that discovers the sessions of a primary wfserve,
+// tails each session's write-ahead log over HTTP, and replays the
+// shipped frames into local read-only sessions that answer the full
+// query surface.
+//
+// The design leans entirely on the frame-identity chain the wire
+// contract guarantees (ingest frame ≡ WAL record ≡ shipped frame):
+// labels are write-once and labeling is deterministic, so replaying
+// the primary's event log through a fresh labeler reissues the exact
+// same labels — a follower is nothing more than crash recovery
+// running continuously against a remote log. Shipped frames are
+// applied through the same ingest path a restore uses and, on a
+// durable follower, teed to the follower's own WAL verbatim; the
+// follower's log is therefore a byte-identical prefix of the
+// primary's, a follower restart resumes from its own recovered
+// sequence, and Promote needs nothing but a final catch-up attempt
+// before flipping the registry writable — the promoted server's WAL
+// already is a valid continuation of everything it acknowledged.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wfreach/client"
+	"wfreach/internal/api"
+	"wfreach/internal/service"
+	"wfreach/internal/spec"
+	"wfreach/internal/wal"
+	"wfreach/internal/wfxml"
+)
+
+// Options configures a Follower.
+type Options struct {
+	// PollInterval is how often the primary's session list is polled
+	// for sessions to start (or stop) tailing. Zero selects 2s.
+	PollInterval time.Duration
+	// ReconnectBackoff is the initial delay before re-dialing a
+	// dropped tail stream, doubled per consecutive failure up to
+	// MaxBackoff. Zero selects 250ms.
+	ReconnectBackoff time.Duration
+	// MaxBackoff caps the reconnect delay. Zero selects 5s.
+	MaxBackoff time.Duration
+	// BatchSize caps how many shipped events are applied (and
+	// committed) per ingest call. Zero selects 256.
+	BatchSize int
+	// Logf, when set, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Second
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 250 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+}
+
+// sessionState is one tailed session's progress.
+type sessionState struct {
+	// primaryID is the identity of the primary session this replica
+	// tails, pinned at adoption. A different identity under the same
+	// name later means the session was deleted and recreated — its
+	// stream must not be spliced onto the old one.
+	primaryID string
+
+	mu      sync.Mutex
+	applied int64 // last applied primary sequence
+	lastErr string
+	stopped bool // session vanished/replaced on the primary, or apply failed fatally
+}
+
+// Follower replicates a primary into the given registry and flips the
+// registry read-only for the duration. Create one with New, start the
+// replication loops with Start, and end them with either Promote
+// (become a writable primary) or Close (plain shutdown).
+type Follower struct {
+	primary string
+	reg     *service.Registry
+	opts    Options
+	c       *client.Client
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	started  bool
+	promoted bool
+}
+
+// New builds a follower of the primary at the given base URL,
+// replicating into reg (typically a freshly restored durable registry
+// so replication survives follower restarts; a memory registry works
+// too but re-tails from scratch after one). The registry is marked a
+// read-only follower and its replication status/promote hooks are
+// wired; nothing is tailed until Start.
+func New(primary string, reg *service.Registry, opts Options) *Follower {
+	opts.fill()
+	f := &Follower{
+		primary: primary,
+		reg:     reg,
+		opts:    opts,
+		// The follower's own reads of the primary must not silently
+		// redirect anywhere, and retries are handled by the reconnect
+		// loop.
+		c:        client.New(primary, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
+		sessions: make(map[string]*sessionState),
+	}
+	reg.SetFollower(primary)
+	reg.SetReplicationHooks(service.ReplicationHooks{Status: f.Status, Promote: f.Promote})
+	return f
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// Start launches the discovery and tail loops in the background.
+func (f *Follower) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.discoverLoop(ctx)
+	}()
+}
+
+// stop ends every background loop and waits them out.
+func (f *Follower) stop() {
+	f.mu.Lock()
+	cancel := f.cancel
+	f.cancel = nil
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	f.wg.Wait()
+}
+
+// Close stops replicating without promoting. The registry stays a
+// read-only follower (a restarted follower process picks up where
+// this one left off).
+func (f *Follower) Close() { f.stop() }
+
+// Promote ends replication and flips the registry writable: stop the
+// tail loops, attempt one final non-waiting catch-up per session —
+// draining whatever the primary can still serve; a dead primary just
+// fails the dial and the follower keeps everything it already
+// applied — then clear follower mode. After Promote the server
+// ingests writes and its WAL continues exactly where replication
+// stopped.
+func (f *Follower) Promote(ctx context.Context) error {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return api.Errorf(api.CodeNotFollower, "already promoted")
+	}
+	f.promoted = true
+	f.mu.Unlock()
+
+	f.stop()
+	for name, st := range f.snapshotSessions() {
+		if st.stopped {
+			continue
+		}
+		if err := f.catchUpOnce(ctx, name, st); err != nil {
+			f.logf("replica: final catch-up of %q: %v (promoting with what we have)", name, err)
+		}
+	}
+	f.reg.Promote()
+	// Uninstall the hooks: from here on the registry's default status —
+	// live WAL sequences, post-promote sessions included — is the
+	// truth, not this follower's frozen promote-time view.
+	f.reg.SetReplicationHooks(service.ReplicationHooks{})
+	f.logf("replica: promoted; now writable")
+	return nil
+}
+
+// snapshotSessions copies the tracked session map.
+func (f *Follower) snapshotSessions() map[string]*sessionState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]*sessionState, len(f.sessions))
+	for k, v := range f.sessions {
+		out[k] = v
+	}
+	return out
+}
+
+// Status reports the follower's replication state: its own applied
+// sequence per session (== the committed sequence of the follower's
+// own WAL when durable), plus any sticky tail error.
+func (f *Follower) Status() api.ReplicationStatus {
+	st := api.ReplicationStatus{Role: api.RoleFollower, Primary: f.primary, Sessions: []api.SessionReplication{}}
+	f.mu.Lock()
+	promoted := f.promoted
+	names := make([]string, 0, len(f.sessions))
+	for name := range f.sessions {
+		names = append(names, name)
+	}
+	f.mu.Unlock()
+	if promoted {
+		st.Role, st.Primary = api.RolePrimary, ""
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f.mu.Lock()
+		ss := f.sessions[name]
+		f.mu.Unlock()
+		ss.mu.Lock()
+		rep := api.SessionReplication{Name: name, WALSeq: ss.applied, Error: ss.lastErr}
+		ss.mu.Unlock()
+		if s, ok := f.reg.Get(name); ok {
+			rep.Durable = s.Stats().Durable
+		}
+		st.Sessions = append(st.Sessions, rep)
+	}
+	return st
+}
+
+// discoverLoop polls the primary's session list, adopting new
+// sessions and spawning one tail loop per session.
+func (f *Follower) discoverLoop(ctx context.Context) {
+	ticker := time.NewTicker(f.opts.PollInterval)
+	defer ticker.Stop()
+	for {
+		if err := f.discoverOnce(ctx); err != nil && ctx.Err() == nil {
+			f.logf("replica: discover: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// discoverOnce syncs the tracked session set with the primary's.
+func (f *Follower) discoverOnce(ctx context.Context) error {
+	stats, err := f.c.Sessions(ctx)
+	if err != nil {
+		return err
+	}
+	onPrimary := make(map[string]bool, len(stats))
+	for _, st := range stats {
+		onPrimary[st.Name] = true
+		f.mu.Lock()
+		ss, known := f.sessions[st.Name]
+		f.mu.Unlock()
+		if known {
+			// A known name whose identity changed was deleted and
+			// recreated on the primary — whatever state the tail loop is
+			// in, the verdict is "replaced", permanently.
+			if st.ID != "" && ss.primaryID != "" && st.ID != ss.primaryID {
+				ss.mu.Lock()
+				if !strings.Contains(ss.lastErr, "replaced on the primary") {
+					ss.stopped = true
+					ss.lastErr = fmt.Sprintf("session %q was replaced on the primary (identity %s, was %s); delete the local copy to re-replicate", st.Name, st.ID, ss.primaryID)
+					f.logf("replica: %s", ss.lastErr)
+				}
+				ss.mu.Unlock()
+			}
+			continue
+		}
+		if err := f.adopt(ctx, st); err != nil {
+			f.logf("replica: adopt %q: %v", st.Name, err)
+		}
+	}
+	// A session dropped on the primary stops being tailed but keeps
+	// serving reads here — deleting replicated data is the operator's
+	// call, not the replication loop's.
+	for name, ss := range f.snapshotSessions() {
+		if onPrimary[name] {
+			continue
+		}
+		ss.mu.Lock()
+		if !ss.stopped {
+			ss.stopped = true
+			ss.lastErr = "session no longer on primary"
+			f.logf("replica: %q vanished from primary; keeping local data, tail stopped", name)
+		}
+		ss.mu.Unlock()
+	}
+	return nil
+}
+
+// adopt creates (or re-binds, after a follower restart) the local
+// session for one primary session and starts its tail loop.
+func (f *Follower) adopt(ctx context.Context, pst client.SessionStats) error {
+	s, ok := f.reg.Get(pst.Name)
+	if !ok {
+		raw, err := f.c.SessionSpec(ctx, pst.Name)
+		if err != nil {
+			return fmt.Errorf("fetch spec: %w", err)
+		}
+		sp, err := wfxml.DecodeSpec(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("decode spec: %w", err)
+		}
+		g, err := spec.Compile(sp)
+		if err != nil {
+			return fmt.Errorf("compile spec: %w", err)
+		}
+		cfg, err := service.ParseConfig(pst.Skeleton, pst.Mode)
+		if err != nil {
+			return fmt.Errorf("labeling config: %w", err)
+		}
+		cfg.Shards = len(pst.Shards)
+		// The copy shares the primary session's identity, so a follower
+		// restart can re-verify it is still tailing the same session.
+		cfg.ID = pst.ID
+		if s, err = f.reg.Create(pst.Name, g, cfg); err != nil {
+			return err
+		}
+	} else if lid := s.ID(); lid != "" && pst.ID != "" && lid != pst.ID {
+		// The local data belongs to a session that was deleted and
+		// recreated on the primary under the same name. Splicing the new
+		// stream onto the old state would silently diverge; keep the
+		// local data, refuse to tail, and say so in the status.
+		ss := &sessionState{primaryID: pst.ID, applied: s.Vertices(), stopped: true,
+			lastErr: fmt.Sprintf("session %q was replaced on the primary (identity %s, local copy has %s); delete the local copy to re-replicate", pst.Name, pst.ID, lid)}
+		f.mu.Lock()
+		if _, dup := f.sessions[pst.Name]; !dup {
+			f.sessions[pst.Name] = ss
+			f.logf("replica: %s", ss.lastErr)
+		}
+		f.mu.Unlock()
+		return nil
+	}
+	// Resume point: every applied event labels exactly one vertex, so
+	// the local vertex count is the last applied primary sequence —
+	// for a durable follower it equals the recovered WAL sequence.
+	ss := &sessionState{primaryID: pst.ID, applied: s.Vertices()}
+	f.mu.Lock()
+	if _, dup := f.sessions[pst.Name]; dup {
+		f.mu.Unlock()
+		return nil
+	}
+	f.sessions[pst.Name] = ss
+	f.mu.Unlock()
+	f.logf("replica: tailing %q from seq %d", pst.Name, ss.applied+1)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.tailLoop(ctx, pst.Name, ss)
+	}()
+	return nil
+}
+
+// tailLoop keeps one session's tail stream alive: dial, apply until
+// the stream drops, back off, redial from the last applied sequence.
+// Every redial after a failure re-verifies the primary session's
+// identity first: a dropped stream is exactly the window in which the
+// session can have been deleted and recreated under its name.
+func (f *Follower) tailLoop(ctx context.Context, name string, ss *sessionState) {
+	backoff := f.opts.ReconnectBackoff
+	verify := false // adopt just verified; re-check only after failures
+	for {
+		ss.mu.Lock()
+		stopped := ss.stopped
+		ss.mu.Unlock()
+		if stopped || ctx.Err() != nil {
+			return
+		}
+		if verify && ss.primaryID != "" {
+			if pst, err := f.c.Session(ctx, name); err == nil && pst.ID != "" && pst.ID != ss.primaryID {
+				ss.mu.Lock()
+				ss.stopped = true
+				ss.lastErr = fmt.Sprintf("session %q was replaced on the primary (identity %s, was %s); delete the local copy to re-replicate", name, pst.ID, ss.primaryID)
+				f.logf("replica: %s", ss.lastErr)
+				ss.mu.Unlock()
+				return
+			}
+		}
+		err := f.tailOnce(ctx, name, ss, true)
+		verify = true
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil:
+			// The primary ended the stream cleanly (log closed, e.g. its
+			// graceful shutdown); redial after the usual backoff.
+			backoff = f.opts.ReconnectBackoff
+		default:
+			ss.setErr(err)
+			var ae *client.Error
+			if errors.As(err, &ae) && ae.Code == client.CodeNotDurable {
+				// The session has no WAL on the primary (memory-only, or
+				// its log failed) and never will: redialing cannot succeed.
+				ss.mu.Lock()
+				ss.stopped = true
+				ss.mu.Unlock()
+				f.logf("replica: %q is not tailable on the primary (%v); tail stopped", name, err)
+				return
+			}
+			// Otherwise — dropped stream, unreachable primary, damage
+			// mid-stream — redial from the last applied sequence. A
+			// session deleted on the primary keeps failing here until
+			// discovery marks it stopped.
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > f.opts.MaxBackoff {
+			backoff = f.opts.MaxBackoff
+		}
+	}
+}
+
+// catchUpOnce drains the primary's currently committed history
+// without waiting — the promote-time final pull.
+func (f *Follower) catchUpOnce(ctx context.Context, name string, ss *sessionState) error {
+	return f.tailOnce(ctx, name, ss, false)
+}
+
+// tailOnce runs one tail stream until it ends, applying entries in
+// batches. Entries are batched greedily: the first read blocks, then
+// the batch grows while more bytes are already buffered, so a burst
+// arriving after a primary commit is applied in one ingest call (one
+// local WAL commit) instead of 256 tiny ones.
+func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, wait bool) error {
+	s, ok := f.reg.Get(name)
+	if !ok {
+		return fmt.Errorf("local session %q lost", name)
+	}
+	ss.mu.Lock()
+	from := ss.applied + 1
+	ss.mu.Unlock()
+	tail, err := f.c.TailWAL(ctx, name, from, wait)
+	if err != nil {
+		return err
+	}
+	defer tail.Close()
+
+	recs := make([]wal.Record, 0, f.opts.BatchSize)
+	frames := make([][]byte, 0, f.opts.BatchSize)
+	var frameBuf []byte
+	var lastSeq int64
+	apply := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		n, err := s.AppendRecords(recs, frames)
+		if err != nil {
+			// Labeling is deterministic, so a rejected replayed event
+			// means divergence (or a poisoned local WAL) — stop this
+			// session rather than corrupt it. The applied prefix is still
+			// recorded: it is real, logged data.
+			ss.mu.Lock()
+			ss.applied += int64(n)
+			ss.stopped = true
+			ss.mu.Unlock()
+			return fmt.Errorf("apply at seq %d: %w", lastSeq-int64(len(recs)-n-1), err)
+		}
+		ss.mu.Lock()
+		ss.applied = lastSeq
+		ss.lastErr = ""
+		ss.mu.Unlock()
+		recs, frames, frameBuf = recs[:0], frames[:0], frameBuf[:0]
+		return nil
+	}
+	for {
+		entry, err := tail.Next()
+		if errors.Is(err, io.EOF) {
+			return apply()
+		}
+		if err != nil {
+			// Apply what we have; the damage point is retried after
+			// reconnect.
+			if aerr := apply(); aerr != nil {
+				return aerr
+			}
+			return err
+		}
+		ss.mu.Lock()
+		expect := ss.applied + int64(len(recs)) + 1
+		ss.mu.Unlock()
+		if entry.Seq != expect {
+			if aerr := apply(); aerr != nil {
+				return aerr
+			}
+			return fmt.Errorf("tail of %q jumped to seq %d, want %d", name, entry.Seq, expect)
+		}
+		// The entry's frame is reused by the next read; stash a copy in
+		// one grow-only batch buffer.
+		start := len(frameBuf)
+		frameBuf = append(frameBuf, entry.Frame...)
+		recs = append(recs, entry.Record)
+		frames = append(frames, frameBuf[start:len(frameBuf):len(frameBuf)])
+		lastSeq = entry.Seq
+		if len(recs) >= f.opts.BatchSize || !tail.Buffered() {
+			if err := apply(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (ss *sessionState) setErr(err error) {
+	ss.mu.Lock()
+	ss.lastErr = err.Error()
+	ss.mu.Unlock()
+}

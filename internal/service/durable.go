@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"wfreach/internal/api"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
@@ -60,11 +61,13 @@ type DurableOptions struct {
 
 // sessionMeta is the JSON body of a session's metadata file, written
 // once at creation. Shards records the session's configured store
-// shard count (zero: the registry default at restore time); absent in
-// files written before the field existed, which decodes as zero.
+// shard count (zero: the registry default at restore time); ID the
+// session's stable identity (Config.ID). Both are absent in files
+// written before the fields existed, which decodes as zero/empty.
 type sessionMeta struct {
 	Format   int    `json:"format"`
 	Name     string `json:"name"`
+	ID       string `json:"id,omitempty"`
 	Skeleton string `json:"skeleton"`
 	RMode    string `json:"rmode"`
 	Shards   int    `json:"shards,omitempty"`
@@ -167,6 +170,7 @@ func (s *Session) initDurable(opts *DurableOptions, committer *wal.Committer) er
 	meta, err := json.MarshalIndent(sessionMeta{
 		Format:   metaFormat,
 		Name:     s.name,
+		ID:       s.cfg.ID,
 		Skeleton: s.cfg.Skeleton.String(),
 		RMode:    s.cfg.Mode.String(),
 		Shards:   s.cfg.Shards,
@@ -188,7 +192,7 @@ func (s *Session) initDurable(opts *DurableOptions, committer *wal.Committer) er
 		return fmt.Errorf("service: persist metadata: %w: %v", ErrDurability, err)
 	}
 
-	log, err := wal.Open(filepath.Join(dir, walFile), 0, opts.Fsync)
+	log, err := wal.Open(filepath.Join(dir, walFile), 0, 0, opts.Fsync)
 	if err != nil {
 		cleanup()
 		return fmt.Errorf("service: %w: %v", ErrDurability, err)
@@ -292,6 +296,43 @@ func (s *Session) maybeSnapshot() {
 		}
 		s.ingestMu.Unlock()
 	}()
+}
+
+// WALSeq returns the sequence of the last event committed to the
+// session's write-ahead log — an absolute, restart-stable position in
+// the event stream (the count of events ever logged). It is 0 for
+// memory-only sessions and frozen once a durable session's log closes
+// or poisons.
+func (s *Session) WALSeq() int64 {
+	s.ingestMu.Lock()
+	log := s.wal
+	s.ingestMu.Unlock()
+	if log == nil {
+		return 0
+	}
+	return log.DurableSeq()
+}
+
+// NewWALTailer opens a tailer over the session's write-ahead log,
+// serving committed records from sequence from (1-based) — history
+// off the disk, then live as batches commit. The caller owns closing
+// it. Sessions without an open log (memory-only, closed, poisoned)
+// cannot be tailed; the error is a typed CodeNotDurable.
+func (s *Session) NewWALTailer(from int64) (*wal.Tailer, error) {
+	s.ingestMu.Lock()
+	log := s.wal
+	s.ingestMu.Unlock()
+	if log == nil {
+		return nil, api.Errorf(api.CodeNotDurable, "session %q has no write-ahead log to tail", s.name)
+	}
+	if from <= 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "tail sequence must be positive, got %d", from)
+	}
+	t, err := wal.NewTailer(log, from)
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "open WAL tail: %v", err)
+	}
+	return t, nil
 }
 
 // closeWAL detaches and closes the session's log and waits for any
@@ -431,7 +472,7 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 	if meta.Name != dirName {
 		return nil, fmt.Errorf("bad %s: names session %q", metaFile, meta.Name)
 	}
-	cfg, err := parseConfig(meta.Skeleton, meta.RMode)
+	cfg, err := ParseConfig(meta.Skeleton, meta.RMode)
 	if err != nil {
 		return nil, fmt.Errorf("bad %s: %w", metaFile, err)
 	}
@@ -439,6 +480,10 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		return nil, fmt.Errorf("bad %s: negative shard count %d", metaFile, meta.Shards)
 	}
 	cfg.Shards = meta.Shards
+	// The identity is restored as persisted — possibly empty for
+	// pre-field data — never regenerated: a restart must not make the
+	// session look like a different one to its replicas.
+	cfg.ID = meta.ID
 
 	sf, err := os.Open(filepath.Join(sdir, specFile))
 	if err != nil {
@@ -530,7 +575,9 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 				os.Remove(tmp)
 			}
 		}
-		log, err := wal.Open(walPath, validSize, r.durable.Fsync)
+		// The replayed count seeds the log's absolute sequence numbers,
+		// so WAL shipping keeps one continuous numbering across restarts.
+		log, err := wal.Open(walPath, validSize, int64(replayed), r.durable.Fsync)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,11 +34,21 @@ import (
 //	POST   /v1/sessions/{name}/reach      batch reachability
 //	GET    /v1/sessions/{name}/reach      ?from=V&to=W (deprecated: one pair per roundtrip)
 //	GET    /v1/sessions/{name}/lineage    ?of=V&cursor=&limit= (paginated)
+//	GET    /v1/sessions/{name}/spec       the session's specification XML
+//	GET    /v1/sessions/{name}/wal        ?from=S&wait= — tail the WAL (replication)
+//	GET    /v1/replication/status         replication role and per-session progress
+//	POST   /v1/replication/promote        follower → writable primary
 //
-// The same paths without the /v1 prefix are served as deprecated
-// legacy adapters over the identical handlers (docs/API.md carries
-// the migration table). A known path hit with the wrong method is a
-// 405 with an Allow header; an unknown path is a structured 404.
+// The same paths without the /v1 prefix (replication endpoints
+// excepted) are served as deprecated legacy adapters over the
+// identical handlers (docs/API.md carries the migration table). A
+// known path hit with the wrong method is a 405 with an Allow header;
+// an unknown path is a structured 404.
+//
+// On a follower (Registry.SetFollower) the write routes — create,
+// delete, ingest — answer CodeReadOnly with the primary's base URL in
+// the error detail; everything else, including WAL tails (chained
+// replication), keeps working.
 //
 // Create accepts either a JSON body (CreateRequest: a built-in spec
 // name or an inline spec XML string) or a raw XML specification with
@@ -74,14 +85,31 @@ func ToWireNamed(ev core.NamedEvent) WireEvent { return api.FromNamed(ev) }
 // NewHandler returns the HTTP handler serving the registry.
 func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
+	// rejectFollower guards a write route: on a follower every write is
+	// misdirected, and the structured rejection names the primary so
+	// the client can redirect (the SDK does so automatically).
+	rejectFollower := func(w http.ResponseWriter) bool {
+		primary, ok := reg.FollowerPrimary()
+		if !ok {
+			return false
+		}
+		writeError(w, api.Errorf(api.CodeReadOnly, "server is a read-only follower; send writes to the primary").
+			WithDetail("%s", primary))
+		return true
+	}
 	routes := []struct {
 		path    string
 		legacy  bool // also serve the unversioned path (deprecated)
 		methods map[string]http.HandlerFunc
 	}{
 		{"/sessions", true, map[string]http.HandlerFunc{
-			http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleCreate(reg, w, r) },
-			http.MethodGet:  func(w http.ResponseWriter, r *http.Request) { handleList(reg, w) },
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				if rejectFollower(w) {
+					return
+				}
+				handleCreate(reg, w, r)
+			},
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) { handleList(reg, w) },
 		}},
 		{"/sessions/{name}", true, map[string]http.HandlerFunc{
 			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +118,9 @@ func NewHandler(reg *Registry) http.Handler {
 				}
 			},
 			http.MethodDelete: func(w http.ResponseWriter, r *http.Request) {
+				if rejectFollower(w) {
+					return
+				}
 				if !reg.Delete(r.PathValue("name")) {
 					writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", r.PathValue("name")))
 					return
@@ -104,8 +135,39 @@ func NewHandler(reg *Registry) http.Handler {
 				}
 			},
 		}},
+		{"/sessions/{name}/spec", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleSpec(s, w)
+				}
+			},
+		}},
+		{"/sessions/{name}/wal", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					handleWALTail(s, w, r)
+				}
+			},
+		}},
+		{"/replication/status", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, http.StatusOK, reg.ReplicationStatus())
+			},
+		}},
+		{"/replication/promote", false, map[string]http.HandlerFunc{
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				if err := reg.PromoteFollower(r.Context()); err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, reg.ReplicationStatus())
+			},
+		}},
 		{"/sessions/{name}/events", true, map[string]http.HandlerFunc{
 			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				if rejectFollower(w) {
+					return
+				}
 				if s := lookup(reg, w, r); s != nil {
 					handleEvents(s, w, r)
 				}
@@ -263,7 +325,7 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 			return
 		}
 	}
-	cfg, err := parseConfig(skelName, modeName)
+	cfg, err := ParseConfig(skelName, modeName)
 	if err != nil {
 		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
@@ -288,7 +350,7 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 	writeJSON(w, http.StatusCreated, s.Stats())
 }
 
-func parseConfig(skelName, modeName string) (Config, error) {
+func ParseConfig(skelName, modeName string) (Config, error) {
 	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
 	switch skelName {
 	case "", "TCL":
@@ -406,6 +468,78 @@ func writeIngestError(w http.ResponseWriter, err error, applied int) {
 		return
 	}
 	writeErrorApplied(w, api.Errorf(api.CodeBadEvent, "event %d: %v", applied, err), applied)
+}
+
+// handleSpec serves the session's specification as XML — what a
+// follower needs (together with the stats' labeling configuration) to
+// rebuild the session locally before replaying its WAL.
+func handleSpec(s *Session, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", api.ContentTypeXML)
+	_ = wfxml.EncodeSpec(w, s.Grammar().Spec())
+}
+
+// handleWALTail streams the session's committed WAL as tail entries
+// (sequence number + raw frame; see internal/api). ?from= selects the
+// first sequence wanted (default 1); ?wait=false returns the
+// committed history and ends, while the default live-tails: the
+// response stays open and new entries flow as batches commit, until
+// the client disconnects or the log closes. Stream errors after the
+// 200 can only be reported by cutting the stream short — the follower
+// treats any truncation as a reconnect signal, so nothing is lost.
+func handleWALTail(s *Session, w http.ResponseWriter, r *http.Request) {
+	from := int64(1)
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n <= 0 {
+			writeError(w, api.Errorf(api.CodeBadRequest, "from wants a positive sequence, got %q", q))
+			return
+		}
+		from = n
+	}
+	wait := true
+	if q := r.URL.Query().Get("wait"); q != "" {
+		b, err := strconv.ParseBool(q)
+		if err != nil {
+			writeError(w, api.Errorf(api.CodeBadRequest, "wait wants a boolean, got %q", q))
+			return
+		}
+		wait = b
+	}
+	tailer, err := s.NewWALTailer(from)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer tailer.Close()
+
+	w.Header().Set("Content-Type", api.ContentTypeWAL)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var entry []byte
+	for {
+		seq, frame, err := tailer.Next(r.Context(), wait)
+		if err != nil {
+			// io.EOF: caught up (wait=false) or log closed; anything else
+			// (context canceled, corruption) also just ends the stream.
+			_ = bw.Flush()
+			return
+		}
+		entry = api.AppendTailEntry(entry[:0], seq, frame)
+		if _, err := bw.Write(entry); err != nil {
+			return // client went away
+		}
+		if !tailer.Pending() {
+			// About to block (or finish): push what we have to the wire so
+			// the follower applies it now instead of when the buffer fills.
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
 }
 
 func handleReach(s *Session, w http.ResponseWriter, r *http.Request) {

@@ -27,12 +27,16 @@
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wfreach/internal/api"
 	"wfreach/internal/core"
@@ -56,6 +60,13 @@ type Config struct {
 	// of two). Zero uses the registry default, or the store default if
 	// the registry has none.
 	Shards int
+	// ID is the session's stable identity, surfaced on stats. Names
+	// are reusable (delete + recreate), identities are not — which is
+	// how a replica tells "the session I was tailing" from "a new
+	// session that took the same name". Empty: a random identity is
+	// generated at Create. A replica passes the primary session's
+	// identity through so the copy shares it.
+	ID string
 }
 
 // ShardStat mirrors store.ShardStat on the stats API: one shard's
@@ -120,6 +131,25 @@ type Registry struct {
 	// defaultShards is the store shard count for sessions whose Config
 	// leaves Shards zero; zero means the store default.
 	defaultShards atomic.Int64
+	// followerPrimary, when non-nil, marks the registry a read-only
+	// follower replica of the primary at that base URL: the HTTP
+	// surface rejects writes with CodeReadOnly pointing there, while
+	// the replica subsystem keeps applying the primary's WAL through
+	// the internal ingest path. Promote clears it.
+	followerPrimary atomic.Pointer[string]
+	// repl are the replication hooks a follower installs (see
+	// SetReplicationHooks); nil hooks get primary-role defaults.
+	repl atomic.Pointer[ReplicationHooks]
+}
+
+// ReplicationHooks lets the replica subsystem answer replication
+// queries the registry cannot answer alone: a follower's per-session
+// tail progress and the promote transition.
+type ReplicationHooks struct {
+	// Status builds the replication status response.
+	Status func() api.ReplicationStatus
+	// Promote flips the follower to writable after a final catch-up.
+	Promote func(ctx context.Context) error
 }
 
 // NewRegistry returns an empty session registry.
@@ -162,6 +192,9 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 			return nil, err
 		}
 	}
+	if cfg.ID == "" {
+		cfg.ID = newSessionID()
+	}
 	s := &Session{
 		name:    name,
 		g:       g,
@@ -199,6 +232,72 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 // Durable reports whether the registry persists its sessions to a
 // data directory (see NewDurableRegistry).
 func (r *Registry) Durable() bool { return r.durable != nil }
+
+// SetFollower marks the registry a read-only follower of the primary
+// at the given base URL. The HTTP surface then rejects create, delete
+// and ingest requests with CodeReadOnly carrying the primary's
+// address; queries and WAL tails keep working. The replica subsystem
+// itself writes through the internal Session methods, which stay
+// open — read-only is a wire-surface contract, not a session lock.
+func (r *Registry) SetFollower(primary string) { r.followerPrimary.Store(&primary) }
+
+// Promote clears follower mode: the registry becomes writable again.
+// It does not stop the tailing replica — replica.Follower.Promote
+// does both, in the right order.
+func (r *Registry) Promote() { r.followerPrimary.Store(nil) }
+
+// FollowerPrimary returns the primary's base URL and true when the
+// registry is a read-only follower.
+func (r *Registry) FollowerPrimary() (string, bool) {
+	if p := r.followerPrimary.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// SetReplicationHooks installs the replica subsystem's status and
+// promote callbacks (see ReplicationHooks).
+func (r *Registry) SetReplicationHooks(h ReplicationHooks) { r.repl.Store(&h) }
+
+// ReplicationStatus reports the server's replication state. A
+// follower's installed hook answers with its tail progress; the
+// default is the primary role with every session's committed WAL
+// sequence — what a follower needs to discover sessions and what a
+// load generator needs to compute replica lag.
+func (r *Registry) ReplicationStatus() api.ReplicationStatus {
+	if h := r.repl.Load(); h != nil && h.Status != nil {
+		return h.Status()
+	}
+	st := api.ReplicationStatus{Role: api.RolePrimary, Sessions: []api.SessionReplication{}}
+	if p, ok := r.FollowerPrimary(); ok {
+		// Follower mode without hooks (no running replica): still honest
+		// about the role.
+		st.Role, st.Primary = api.RoleFollower, p
+	}
+	for _, name := range r.Names() {
+		if s, ok := r.Get(name); ok {
+			st.Sessions = append(st.Sessions, api.SessionReplication{
+				Name: name, WALSeq: s.WALSeq(), Durable: s.durable,
+			})
+		}
+	}
+	return st
+}
+
+// PromoteFollower runs the promote transition: the installed hook
+// (final catch-up, stop tailing, flip writable) when the replica
+// subsystem provided one, otherwise just the registry flip. It is an
+// error on a server that is not a follower.
+func (r *Registry) PromoteFollower(ctx context.Context) error {
+	if _, ok := r.FollowerPrimary(); !ok {
+		return api.Errorf(api.CodeNotFollower, "server is not a follower")
+	}
+	if h := r.repl.Load(); h != nil && h.Promote != nil {
+		return h.Promote(ctx)
+	}
+	r.Promote()
+	return nil
+}
 
 // Get returns the named session.
 func (r *Registry) Get(name string) (*Session, bool) {
@@ -254,8 +353,20 @@ func (r *Registry) Len() int {
 	return len(r.sessions)
 }
 
+// newSessionID returns a fresh random session identity.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Name returns the session's registry name.
 func (s *Session) Name() string { return s.name }
+
+// ID returns the session's stable identity (see Config.ID).
+func (s *Session) ID() string { return s.cfg.ID }
 
 // Grammar returns the session's compiled grammar.
 func (s *Session) Grammar() *spec.Grammar { return s.g }
@@ -514,6 +625,7 @@ func (s *Session) Vertices() int64 { return s.vertices.Load() }
 func (s *Session) Stats() Stats {
 	return Stats{
 		Name:         s.name,
+		ID:           s.cfg.ID,
 		Class:        s.g.Class().String(),
 		Skeleton:     s.cfg.Skeleton.String(),
 		Mode:         s.cfg.Mode.String(),

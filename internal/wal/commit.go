@@ -106,8 +106,11 @@ func (c *Committer) lead() {
 				if c.errs[r.log] == nil {
 					c.errs[r.log] = r.err
 				}
-			} else if r.cover > r.log.durableSeq.Load() {
-				r.log.durableSeq.Store(r.cover)
+			} else {
+				// advanceDurable is monotonic and wakes tailers; Flush
+				// already advanced to cover, but an older concurrent round
+				// must never regress it.
+				r.log.advanceDurable(r.cover)
 			}
 		}
 		c.cond.Broadcast()

@@ -34,7 +34,7 @@ func TestCommitterGroupCommit(t *testing.T) {
 	paths := make([]string, logs)
 	for li := 0; li < logs; li++ {
 		paths[li] = filepath.Join(dir, fmt.Sprintf("l%d.wal", li))
-		l, err := Open(paths[li], 0, true)
+		l, err := Open(paths[li], 0, 0, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestCommitterGroupCommit(t *testing.T) {
 // return only after their prefix is durable.
 func TestCommitterConcurrentSameLog(t *testing.T) {
 	dir := t.TempDir()
-	l, err := Open(filepath.Join(dir, "x.wal"), 0, false)
+	l, err := Open(filepath.Join(dir, "x.wal"), 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestCommitterConcurrentSameLog(t *testing.T) {
 // the same committer stay healthy.
 func TestCommitterClosedLogPoisons(t *testing.T) {
 	dir := t.TempDir()
-	bad, err := Open(filepath.Join(dir, "bad.wal"), 0, false)
+	bad, err := Open(filepath.Join(dir, "bad.wal"), 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	good, err := Open(filepath.Join(dir, "good.wal"), 0, false)
+	good, err := Open(filepath.Join(dir, "good.wal"), 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,8 +147,16 @@ func TestCommitterClosedLogPoisons(t *testing.T) {
 	if err := bad.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Commit(bad, seq); err == nil {
-		t.Fatal("commit on a closed log succeeded")
+	// Close flushed the appended record, so its sequence is already
+	// durable and commits without touching the closed file …
+	if err := c.Commit(bad, seq); err != nil {
+		t.Fatalf("already-durable sequence failed on a closed log: %v", err)
+	}
+	// … but a sequence beyond the durable prefix needs a flush, which a
+	// closed log cannot deliver: the commit fails and poisons the log,
+	// stickily — even for sequences that were durable.
+	if err := c.Commit(bad, seq+1); err == nil {
+		t.Fatal("commit past the durable prefix of a closed log succeeded")
 	}
 	if err := c.Commit(bad, seq); err == nil {
 		t.Fatal("poisoned log committed on retry")

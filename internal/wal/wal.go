@@ -289,6 +289,13 @@ func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64
 // from other goroutines — that is what lets a group-commit leader
 // (Committer) flush a session's log on the session's behalf, and
 // flush many sessions' logs in parallel.
+//
+// Every record in the log has an absolute sequence number: the first
+// record in the file is 1, and Open seeds the counters with the
+// record count a prior Scan reported, so sequences survive restarts.
+// AppendSeq and DurableSeq read the counters atomically; DurableAdvanced
+// is the subscription hook a Tailer uses to switch from history replay
+// to live tailing.
 type Log struct {
 	// mu guards the file handle, the buffered writer and the closed
 	// flag. Held across the fsync too: a flush that raced an in-flight
@@ -296,29 +303,90 @@ type Log struct {
 	mu     sync.Mutex
 	f      *os.File
 	w      *bufio.Writer
+	path   string
 	fsync  bool
 	closed bool
 	buf    []byte // scratch for payload encoding, used under mu
 
-	// appendSeq counts appended records; durableSeq is the highest
-	// appendSeq known to be flushed (maintained by Committer).
+	// appendSeq is the sequence of the last appended record;
+	// durableSeq is the highest appendSeq known to be flushed (by
+	// Flush/Sync/Close directly, or by a Committer round).
 	appendSeq  atomic.Int64
 	durableSeq atomic.Int64
+	closedFlag atomic.Bool
+
+	// notifyMu guards notifyCh, the broadcast channel closed whenever
+	// durableSeq advances or the log closes.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
-// AppendSeq returns the number of records appended so far — the
-// sequence to pass to Committer.Commit to make the log durable up to
-// this point.
+// AppendSeq returns the sequence of the last record appended so far
+// (counting records already in the file at Open) — the sequence to
+// pass to Committer.Commit to make the log durable up to this point.
 func (l *Log) AppendSeq() int64 { return l.appendSeq.Load() }
+
+// DurableSeq returns the sequence of the last record known to be
+// flushed (and fsynced, as the log is configured) — the committed
+// prefix a crash cannot take back and the only records a Tailer will
+// serve. It reads one atomic; callers no longer infer the committed
+// sequence by replaying the file.
+func (l *Log) DurableSeq() int64 { return l.durableSeq.Load() }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// advanceDurable raises durableSeq monotonically and wakes every
+// DurableAdvanced waiter.
+func (l *Log) advanceDurable(seq int64) {
+	for {
+		cur := l.durableSeq.Load()
+		if seq <= cur {
+			return
+		}
+		if l.durableSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	l.broadcast()
+}
+
+func (l *Log) broadcast() {
+	l.notifyMu.Lock()
+	if l.notifyCh != nil {
+		close(l.notifyCh)
+		l.notifyCh = nil
+	}
+	l.notifyMu.Unlock()
+}
+
+// DurableAdvanced returns a channel closed the next time the durable
+// sequence advances (or the log closes). To wait without lost
+// wakeups: take the channel, re-check DurableSeq (and Closed), then
+// receive.
+func (l *Log) DurableAdvanced() <-chan struct{} {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	if l.notifyCh == nil {
+		l.notifyCh = make(chan struct{})
+	}
+	return l.notifyCh
+}
+
+// Closed reports whether the log has been closed.
+func (l *Log) Closed() bool { return l.closedFlag.Load() }
 
 // errClosed reports appends or flushes on a closed log.
 var errClosed = errors.New("wal: log closed")
 
 // Open opens (creating if absent) the log at path for appending and
 // truncates it to validSize, discarding any corrupt tail that a prior
-// Scan reported. fsync selects whether Flush also forces the data to
-// stable storage.
-func Open(path string, validSize int64, fsync bool) (*Log, error) {
+// Scan reported. records is the number of intact records in the valid
+// prefix (what the same Scan returned); it seeds the absolute
+// sequence counters, so the first record appended here gets sequence
+// records+1 and tailers see one continuous numbering across restarts.
+// fsync selects whether Flush also forces the data to stable storage.
+func Open(path string, validSize int64, records int64, fsync bool) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -331,7 +399,10 @@ func Open(path string, validSize int64, fsync bool) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), fsync: fsync}, nil
+	l := &Log{f: f, w: bufio.NewWriter(f), path: path, fsync: fsync}
+	l.appendSeq.Store(records)
+	l.durableSeq.Store(records)
+	return l, nil
 }
 
 // Append frames and buffers one record. The record is not durable —
@@ -413,11 +484,14 @@ func (l *Log) flushLocked(sync bool) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
+	// Appends hold mu, so everything counted by appendSeq is in the
+	// file now; publish it to DurableSeq readers and wake tailers.
+	l.advanceDurable(l.appendSeq.Load())
 	return nil
 }
 
 // Close flushes and closes the log. Later appends, flushes and commits
-// fail.
+// fail; waiting tailers are woken and see the log closed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -426,6 +500,8 @@ func (l *Log) Close() error {
 	}
 	flushErr := l.flushLocked(l.fsync)
 	l.closed = true
+	l.closedFlag.Store(true)
+	l.broadcast()
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

@@ -27,7 +27,7 @@ func testRecords() []Record {
 
 func writeLog(t *testing.T, path string, recs []Record) {
 	t.Helper()
-	l, err := Open(path, 0, false)
+	l, err := Open(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,8 +183,8 @@ func TestOpenTruncatesAndAppends(t *testing.T) {
 	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, size := scanAll(t, path)
-	l, err := Open(path, size, false)
+	valid, size := scanAll(t, path)
+	l, err := Open(path, size, int64(len(valid)), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func flip(raw []byte, i int) []byte {
 // corrupt must never be accepted (and acknowledged) by Append.
 func TestAppendRejectsOversizedRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "events.wal")
-	l, err := Open(path, 0, false)
+	l, err := Open(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,10 +39,12 @@ import (
 	"os"
 	"strings"
 
+	"wfreach/internal/api"
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
+	"wfreach/internal/replica"
 	"wfreach/internal/run"
 	"wfreach/internal/service"
 	"wfreach/internal/skeleton"
@@ -207,6 +209,32 @@ var ErrDurability = service.ErrDurability
 // NewServiceHandler returns the JSON/HTTP handler serving the registry
 // (the cmd/wfserve API; see internal/service for the endpoints).
 func NewServiceHandler(r *Registry) http.Handler { return service.NewHandler(r) }
+
+// Replication: a follower tails a primary wfserve's write-ahead logs
+// and serves the same query surface read-only (see internal/replica).
+type (
+	// Follower replicates a primary server into a local registry and
+	// can be promoted to writable on failover.
+	Follower = replica.Follower
+	// FollowerOptions tunes a follower's polling, reconnect backoff
+	// and apply batching.
+	FollowerOptions = replica.Options
+	// ReplicationStatus is a server's replication role and per-session
+	// WAL progress (GET /v1/replication/status).
+	ReplicationStatus = api.ReplicationStatus
+	// SessionReplication is one session's replication progress.
+	SessionReplication = api.SessionReplication
+)
+
+// NewFollower marks the registry a read-only follower of the primary
+// at the given base URL and prepares to replicate it. Call Start on
+// the result to begin tailing, Promote to flip to writable on
+// failover, Close to stop without promoting. The registry should
+// usually be durable and freshly restored, so replication resumes
+// from the last applied event across restarts.
+func NewFollower(primary string, reg *Registry, opts FollowerOptions) *Follower {
+	return replica.New(primary, reg, opts)
+}
 
 // GenerateEvents derives a random run and returns its execution event
 // stream together with the run as ground-truth oracle.
