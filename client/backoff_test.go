@@ -1,0 +1,74 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// The retry schedule doubles from the base, caps at the max, and
+// jitters each delay uniformly within [d/2, d] so synchronized
+// clients spread out instead of retrying in lockstep.
+func TestRetryDelaySchedule(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	// Uncapped exponential: 10, 20, 40, 80, then capped at 80.
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond,
+	}
+	for attempt, full := range want {
+		// Jitter is random: sample repeatedly and check the bounds.
+		lo, hi := full, time.Duration(0)
+		for i := 0; i < 200; i++ {
+			d := retryDelay(base, max, attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		// 200 uniform samples over a multi-millisecond range should
+		// not all collapse to one value.
+		if full >= 2*time.Millisecond && lo == hi {
+			t.Errorf("attempt %d: no jitter observed (all %v)", attempt, lo)
+		}
+	}
+}
+
+func TestRetryDelayEdges(t *testing.T) {
+	if d := retryDelay(0, time.Second, 3); d != 0 {
+		t.Errorf("zero base: got %v, want 0", d)
+	}
+	if d := retryDelay(-time.Second, time.Second, 0); d != 0 {
+		t.Errorf("negative base: got %v, want 0", d)
+	}
+	// A zero max falls back to the default cap rather than
+	// disabling it.
+	for i := 0; i < 50; i++ {
+		if d := retryDelay(time.Second, 0, 20); d > defaultMaxBackoff {
+			t.Fatalf("zero max: delay %v above default cap %v", d, defaultMaxBackoff)
+		}
+	}
+	// A base above the max is clamped down to it.
+	for i := 0; i < 50; i++ {
+		d := retryDelay(time.Second, 100*time.Millisecond, 0)
+		if d > 100*time.Millisecond || d < 50*time.Millisecond {
+			t.Fatalf("base>max: delay %v outside [50ms, 100ms]", d)
+		}
+	}
+	// Large attempt counts must not overflow into negative delays.
+	for i := 0; i < 50; i++ {
+		d := retryDelay(time.Second, 5*time.Second, 500)
+		if d < 0 || d > 5*time.Second {
+			t.Fatalf("attempt 500: delay %v outside [0, 5s]", d)
+		}
+	}
+}

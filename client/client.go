@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -97,6 +98,7 @@ type Client struct {
 	hc         *http.Client
 	retries    int
 	backoff    time.Duration
+	maxBackoff time.Duration
 	noRedirect bool
 }
 
@@ -110,10 +112,25 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithRetry sets how many times a retryable request (read-only, or
 // transport-level failure before any byte was processed) is retried
 // on 5xx or network error, and the initial backoff, doubled per
-// attempt. The default is 2 retries starting at 100ms; WithRetry(0,
-// 0) disables retrying.
+// attempt up to the WithMaxBackoff cap. Each sleep is jittered —
+// drawn uniformly from the upper half of the scheduled delay — so a
+// fleet of clients retrying against a recovering server spreads out
+// instead of thundering in lockstep. The default is 2 retries
+// starting at 100ms; WithRetry(0, 0) disables retrying.
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries = retries; c.backoff = backoff }
+}
+
+// WithMaxBackoff caps the per-attempt retry delay (the exponential
+// schedule stops doubling there). The default cap is 5s; zero or
+// negative restores it.
+func WithMaxBackoff(max time.Duration) Option {
+	return func(c *Client) {
+		if max <= 0 {
+			max = defaultMaxBackoff
+		}
+		c.maxBackoff = max
+	}
 }
 
 // WithoutWriteRedirect disables the follower-aware write redirect.
@@ -139,11 +156,12 @@ func New(base string, opts ...Option) *Client {
 		base = base[:len(base)-1]
 	}
 	c := &Client{
-		base:    base,
-		prefix:  "/v1",
-		hc:      &http.Client{Timeout: 30 * time.Second},
-		retries: 2,
-		backoff: 100 * time.Millisecond,
+		base:       base,
+		prefix:     "/v1",
+		hc:         &http.Client{Timeout: 30 * time.Second},
+		retries:    2,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: defaultMaxBackoff,
 	}
 	for _, o := range opts {
 		o(c)
@@ -166,7 +184,6 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ret
 }
 
 func (c *Client) doRaw(ctx context.Context, method, path, contentType string, body []byte, out any, retryable bool) error {
-	backoff := c.backoff
 	base := c.base
 	redirected := false
 	for attempt := 0; ; attempt++ {
@@ -189,10 +206,41 @@ func (c *Client) doRaw(ctx context.Context, method, path, contentType string, bo
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(c.backoff, c.maxBackoff, attempt)):
 		}
-		backoff *= 2
 	}
+}
+
+// defaultMaxBackoff caps the retry schedule unless WithMaxBackoff
+// overrides it.
+const defaultMaxBackoff = 5 * time.Second
+
+// retryDelay returns the sleep before retrying attempt (0-based): the
+// exponential schedule base<<attempt, capped at max, jittered by
+// drawing uniformly from the upper half of the capped delay. The
+// jitter is what keeps a fleet of clients — every routing client in a
+// cluster retries the same recovering node at once — from hammering
+// it in synchronized waves; the half-floor keeps the schedule's
+// pacing (a jittered delay is never less than half the scheduled
+// one).
+func retryDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int64N(int64(d-half)+1))
+	}
+	return d
 }
 
 // transient reports whether an error is worth retrying: a server-side

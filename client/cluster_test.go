@@ -1,0 +1,189 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"wfreach"
+	"wfreach/client"
+	"wfreach/internal/cluster"
+	"wfreach/internal/service"
+)
+
+// newTestCluster builds an n-node durable cluster (registries,
+// servers, controllers) and the shared map.
+func newTestCluster(t *testing.T, n int) ([]*service.Registry, []*cluster.Controller, client.ClusterMap) {
+	t.Helper()
+	regs := make([]*service.Registry, n)
+	m := client.ClusterMap{Version: 1}
+	for i := range regs {
+		reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: t.TempDir(), Fsync: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = reg.Close() })
+		srv := httptest.NewServer(service.NewHandler(reg))
+		t.Cleanup(srv.Close)
+		regs[i] = reg
+		m.Nodes = append(m.Nodes, client.ClusterNode{Name: fmt.Sprintf("n%d", i), URL: srv.URL})
+	}
+	ctls := make([]*cluster.Controller, n)
+	for i, reg := range regs {
+		ctl, err := cluster.New(m.Nodes[i].Name, m, reg, cluster.Options{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctls[i] = ctl
+	}
+	return regs, ctls, m
+}
+
+// TestClusterClientRouting drives the full session lifecycle through
+// the routing client: every call lands on the owner without the
+// caller naming nodes, and a move is chased transparently by a stale
+// client.
+func TestClusterClientRouting(t *testing.T) {
+	regs, _, m := newTestCluster(t, 3)
+	cl, err := client.NewCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Spread a handful of sessions; each must materialize only on the
+	// registry of the node the map places it on.
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	owners := map[string]string{}
+	for _, name := range names {
+		if _, err := cl.CreateSession(ctx, client.CreateSessionRequest{Name: name, Builtin: "RunningExample"}); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		owners[name] = cl.Owner(name)
+	}
+	placed := 0
+	for i, reg := range regs {
+		node := fmt.Sprintf("n%d", i)
+		for _, name := range names {
+			_, here := reg.Get(name)
+			if want := owners[name] == node; here != want {
+				t.Errorf("session %s on %s: present=%v, want %v", name, node, here, want)
+			}
+			if here {
+				placed++
+			}
+		}
+	}
+	if placed != len(names) {
+		t.Fatalf("%d sessions materialized, want %d", placed, len(names))
+	}
+	if len(owners) > 0 {
+		distinct := map[string]bool{}
+		for _, o := range owners {
+			distinct[o] = true
+		}
+		if len(distinct) < 2 {
+			t.Logf("note: all %d sessions hashed to one node (legal, just unlucky)", len(names))
+		}
+	}
+
+	// Ingest + query through the router, verified against the oracle.
+	events, r := generate(t, "RunningExample", 600, 5)
+	wire := make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	if _, err := cl.Ingest(ctx, "alpha", wire[:300]); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if _, err := cl.IngestFrames(ctx, "alpha", wire[300:]); err != nil {
+		t.Fatalf("ingest frames: %v", err)
+	}
+	st, err := cl.Session(ctx, "alpha")
+	if err != nil || st.Vertices != int64(len(events)) {
+		t.Fatalf("stats: %+v, %v", st, err)
+	}
+	var pairs []client.ReachPair
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, client.ReachPair{
+			From: int32(events[(i*13)%len(events)].V), To: int32(events[(i*31)%len(events)].V)})
+	}
+	answers, err := cl.ReachBatch(ctx, "alpha", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ans := range answers {
+		if want := r.Reaches(wfreach.VertexID(ans.From), wfreach.VertexID(ans.To)); ans.Code != "" || ans.Reachable != want {
+			t.Fatalf("pair %d: %+v, oracle %v", i, ans, want)
+		}
+	}
+
+	// Cluster-wide list: all sessions, each exactly once.
+	list, err := cl.Sessions(ctx)
+	if err != nil || len(list) != len(names) {
+		t.Fatalf("sessions: %d entries, %v", len(list), err)
+	}
+
+	// Move alpha to a node that does not own it; the mover adopts the
+	// response map immediately.
+	target := "n0"
+	if owners["alpha"] == "n0" {
+		target = "n1"
+	}
+	mv, err := cl.Move(ctx, "alpha", target)
+	if err != nil || mv.To != target || mv.Events != int64(len(events)) {
+		t.Fatalf("move: %+v, %v", mv, err)
+	}
+	if cl.Owner("alpha") != target {
+		t.Fatalf("mover still routes alpha to %s", cl.Owner("alpha"))
+	}
+	if st, err := cl.Session(ctx, "alpha"); err != nil || st.Vertices != int64(len(events)) {
+		t.Fatalf("post-move stats via mover: %+v, %v", st, err)
+	}
+
+	// A second client still holding the original map: reads against
+	// the old owner's retained copy are served (stale, like a
+	// follower's), so reads alone teach it nothing...
+	stale, err := client.NewCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := stale.Owner("alpha"); o == target {
+		t.Fatalf("stale client already routes to %s — test is vacuous", target)
+	}
+	if st, err := stale.Session(ctx, "alpha"); err != nil || st.Vertices != int64(len(events)) {
+		t.Fatalf("stale read: %+v, %v", st, err)
+	}
+	// ...but its first write routes to the old owner, which answers
+	// read_only naming the new one; the client merges the fix, the
+	// retried call lands on the new owner, and the delete (a write)
+	// goes through.
+	if err := stale.DeleteSession(ctx, "alpha"); err != nil {
+		t.Fatalf("delete via stale client: %v", err)
+	}
+	if o := stale.Owner("alpha"); o != target {
+		t.Fatalf("stale client learned owner %s, want %s", o, target)
+	}
+	if _, ok := regs[nodeIndex(target)].Get("alpha"); ok {
+		t.Fatal("alpha still on the new owner after delete")
+	}
+}
+
+// nodeIndex maps a test node name "n<i>" back to its registry index.
+func nodeIndex(name string) int {
+	var i int
+	fmt.Sscanf(name, "n%d", &i)
+	return i
+}
+
+// TestClusterClientRejectsBadMap checks constructor validation.
+func TestClusterClientRejectsBadMap(t *testing.T) {
+	if _, err := client.NewCluster(client.ClusterMap{}); err == nil {
+		t.Error("empty map accepted")
+	}
+	m := client.ClusterMap{Nodes: []client.ClusterNode{{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}}}
+	if _, err := client.NewCluster(m); err == nil {
+		t.Error("duplicate node names accepted")
+	}
+}

@@ -49,8 +49,10 @@ func (c *Client) ReplicationStatus(ctx context.Context) (ReplicationStatus, erro
 
 // Promote asks a follower to stop tailing its primary, catch up on
 // whatever the primary can still serve, and become a writable
-// primary. It returns the post-promote replication status. Promoting
-// a server that is not a follower fails with CodeNotFollower.
+// primary. It returns the post-promote replication status. Promote is
+// idempotent: on a server that is already writable it changes nothing
+// and answers with the current status, so failover tooling can re-POST
+// until it gets an answer.
 func (c *Client) Promote(ctx context.Context) (ReplicationStatus, error) {
 	var st ReplicationStatus
 	err := c.do(ctx, http.MethodPost, "/replication/promote", nil, &st, false)
@@ -73,7 +75,6 @@ func (c *Client) SessionSpec(ctx context.Context, name string) ([]byte, error) {
 // doRead runs one retryable GET whose successful body is consumed by
 // read (non-JSON responses; errors still decode the structured model).
 func (c *Client) doRead(ctx context.Context, path string, read func(io.Reader) error) error {
-	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
 		resp, err := c.get(ctx, c.base, path, 0)
 		if err == nil {
@@ -89,9 +90,8 @@ func (c *Client) doRead(ctx context.Context, path string, read func(io.Reader) e
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(c.backoff, c.maxBackoff, attempt)):
 		}
-		backoff *= 2
 	}
 }
 

@@ -12,6 +12,20 @@
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
 //	wfload -addr http://127.0.0.1:8080 -legacy -verify -cleanup
 //	wfload -addr http://127.0.0.1:8080 -replica http://127.0.0.1:8081 -verify
+//	wfload -cluster cluster.json -sessions 12 -verify -move load-3=b
+//
+// -cluster drives a session-partitioned cluster instead of a single
+// server: the same JSON map file the wfserve nodes load tells the
+// client.Cluster router where every session lives, sessions spread
+// across the nodes by consistent hashing on their names, and the
+// report breaks ingest throughput down per node alongside the
+// aggregate. -move "session=node" exercises a live move: once a
+// quarter of the total stream is acknowledged, the named session is
+// moved to the target node while its writer keeps ingesting — the
+// router chases the handoff, and with -verify every answer is still
+// checked against ground truth. Cluster mode uses the /v1 surface
+// (-legacy is rejected) and routes reads through the map too
+// (-replica is rejected; list followers in the map instead).
 //
 // -replica splits the workload across a primary/follower pair: writes
 // stream to -addr while every read goes to the follower at -replica —
@@ -68,6 +82,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +94,8 @@ import (
 type config struct {
 	addr         string
 	replica      string
+	clusterFile  string
+	move         string
 	spec         string
 	size         int
 	seed         int64
@@ -103,6 +120,8 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "wfserve base URL (the primary: writes go here)")
 	flag.StringVar(&cfg.replica, "replica", "", "follower base URL: send reads there, sample replica lag, wait for catch-up")
+	flag.StringVar(&cfg.clusterFile, "cluster", "", "drive the session-partitioned cluster defined by this map file instead of -addr")
+	flag.StringVar(&cfg.move, "move", "", "with -cluster: live-move \"session=node\" once a quarter of the stream is acknowledged")
 	flag.StringVar(&cfg.spec, "spec", "BioAID", "built-in specification to load")
 	flag.IntVar(&cfg.size, "size", 10000, "target vertices per generated run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base generation seed (session i uses seed+i)")
@@ -181,32 +200,51 @@ type reportLag struct {
 	CatchupSec float64 `json:"catchup_sec"`
 }
 
+// reportNode is one cluster node's slice of the ingest throughput.
+type reportNode struct {
+	IngestEvents int64   `json:"ingest_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// reportMove records the -move live session transfer.
+type reportMove struct {
+	Session string  `json:"session"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Events  int64   `json:"events"`
+	Sec     float64 `json:"sec"`
+}
+
 // report is the -json result document: the workload configuration and
 // the measured throughput and latency numbers, in stable units.
 type report struct {
-	Spec             string            `json:"spec"`
-	Mode             string            `json:"mode"` // "v1-binary" or "legacy-json"
-	Replica          string            `json:"replica,omitempty"`
-	ReplicaLag       *reportLag        `json:"replica_lag,omitempty"`
-	Sessions         int               `json:"sessions"`
-	SizePerSession   int               `json:"size_per_session"`
-	Batch            int               `json:"batch"`
-	Readers          int               `json:"readers"`
-	ReachBatch       int               `json:"reach_batch,omitempty"`
-	Shards           int               `json:"shards,omitempty"`
-	LineageEvery     int               `json:"lineage_every,omitempty"`
-	Seed             int64             `json:"seed"`
-	ElapsedSec       float64           `json:"elapsed_sec"`
-	IngestEvents     int64             `json:"ingest_events"`
-	EventsPerSec     float64           `json:"events_per_sec"`
-	IngestLatency    reportPercentiles `json:"ingest_batch_latency"`
-	Queries          int64             `json:"queries"`
-	LineageQueries   int64             `json:"lineage_queries"`
-	QueryErrors      int64             `json:"query_errors"`
-	QueriesPerSec    float64           `json:"queries_per_sec"`
-	QueryLatency     reportPercentiles `json:"query_latency"`
-	VerifyChecked    bool              `json:"verify_checked"`
-	VerifyMismatches int64             `json:"verify_mismatches"`
+	Spec             string                `json:"spec"`
+	Mode             string                `json:"mode"` // "v1-binary" or "legacy-json"
+	Replica          string                `json:"replica,omitempty"`
+	ReplicaLag       *reportLag            `json:"replica_lag,omitempty"`
+	Cluster          string                `json:"cluster,omitempty"` // the -cluster map file
+	Nodes            int                   `json:"nodes,omitempty"`
+	PerNode          map[string]reportNode `json:"per_node,omitempty"`
+	Move             *reportMove           `json:"move,omitempty"`
+	Sessions         int                   `json:"sessions"`
+	SizePerSession   int                   `json:"size_per_session"`
+	Batch            int                   `json:"batch"`
+	Readers          int                   `json:"readers"`
+	ReachBatch       int                   `json:"reach_batch,omitempty"`
+	Shards           int                   `json:"shards,omitempty"`
+	LineageEvery     int                   `json:"lineage_every,omitempty"`
+	Seed             int64                 `json:"seed"`
+	ElapsedSec       float64               `json:"elapsed_sec"`
+	IngestEvents     int64                 `json:"ingest_events"`
+	EventsPerSec     float64               `json:"events_per_sec"`
+	IngestLatency    reportPercentiles     `json:"ingest_batch_latency"`
+	Queries          int64                 `json:"queries"`
+	LineageQueries   int64                 `json:"lineage_queries"`
+	QueryErrors      int64                 `json:"query_errors"`
+	QueriesPerSec    float64               `json:"queries_per_sec"`
+	QueryLatency     reportPercentiles     `json:"query_latency"`
+	VerifyChecked    bool                  `json:"verify_checked"`
+	VerifyMismatches int64                 `json:"verify_mismatches"`
 }
 
 func writeReport(path string, rep report) error {
@@ -233,6 +271,20 @@ func newClient(cfg config) *client.Client {
 	return client.New(cfg.addr, opts...)
 }
 
+// driver is the slice of the SDK surface the load generator drives,
+// satisfied by both the single-server client.Client and the routing
+// client.Cluster — the workload code does not care which.
+type driver interface {
+	CreateSession(ctx context.Context, req client.CreateSessionRequest) (client.SessionStats, error)
+	Session(ctx context.Context, name string) (client.SessionStats, error)
+	DeleteSession(ctx context.Context, name string) error
+	Ingest(ctx context.Context, session string, events []client.Event) (client.EventsResponse, error)
+	IngestFrames(ctx context.Context, session string, events []client.Event) (client.EventsResponse, error)
+	ReachBatch(ctx context.Context, session string, pairs []client.ReachPair) ([]client.ReachAnswer, error)
+	Reach(ctx context.Context, session string, from, to int32) (bool, error)
+	Lineage(ctx context.Context, session string, of int32) ([]int32, error)
+}
+
 // sessionLoad is one session's generated ground truth: the event
 // stream the writer replays and the run that answers BFS oracle
 // queries over it.
@@ -247,7 +299,7 @@ type sessionLoad struct {
 // each holding some acknowledged prefix of the regenerated stream.
 // Recovery is correct iff every reachability answer over that prefix
 // matches BFS ground truth on the regenerated run.
-func runResume(ctx context.Context, cfg config, c *client.Client, loads []sessionLoad, out io.Writer) error {
+func runResume(ctx context.Context, cfg config, c driver, loads []sessionLoad, out io.Writer) error {
 	fmt.Fprintf(out, "wfload: resume verification of %d session(s) against regenerated ground truth\n", len(loads))
 	bad := 0
 	for i, l := range loads {
@@ -289,7 +341,7 @@ func runResume(ctx context.Context, cfg config, c *client.Client, loads []sessio
 
 // ingestBatch sends one event batch in the configured mode and
 // reports how many events were acknowledged.
-func ingestBatch(ctx context.Context, cfg config, c *client.Client, name string, events []wfreach.Event) (int, error) {
+func ingestBatch(ctx context.Context, cfg config, c driver, name string, events []wfreach.Event) (int, error) {
 	wire := make([]client.Event, len(events))
 	for i, ev := range events {
 		wire[i] = wfreach.ToWire(ev)
@@ -328,6 +380,36 @@ func run(cfg config, out io.Writer) error {
 		}
 		rc = client.New(cfg.replica, client.WithRetry(0, 0), client.WithoutWriteRedirect())
 	}
+	// d carries writes, rd reads; in cluster mode both are the routing
+	// client, otherwise the plain one(s).
+	var d, rd driver = c, rc
+	var cl *client.Cluster
+	var moveSession, moveTarget string
+	if cfg.clusterFile != "" {
+		if cfg.legacy {
+			return fmt.Errorf("-cluster needs the /v1 surface; drop -legacy")
+		}
+		if cfg.replica != "" {
+			return fmt.Errorf("-cluster routes reads through the map; list followers in the map file instead of -replica")
+		}
+		m, err := wfreach.LoadClusterMap(cfg.clusterFile)
+		if err != nil {
+			return err
+		}
+		if cl, err = client.NewCluster(m, client.WithRetry(0, 0)); err != nil {
+			return err
+		}
+		d, rd = cl, cl
+	}
+	if cfg.move != "" {
+		if cl == nil {
+			return fmt.Errorf("-move is a cluster operation; it needs -cluster")
+		}
+		var ok bool
+		if moveSession, moveTarget, ok = strings.Cut(cfg.move, "="); !ok || moveSession == "" || moveTarget == "" {
+			return fmt.Errorf("-move %q is not \"session=node\"", cfg.move)
+		}
+	}
 
 	// Generate all streams up front so generation cost stays out of the
 	// measured window (and so -resume can rebuild identical ground
@@ -345,17 +427,28 @@ func run(cfg config, out io.Writer) error {
 		total += len(events)
 	}
 	if cfg.resume {
-		return runResume(ctx, cfg, c, loads, out)
+		return runResume(ctx, cfg, d, loads, out)
 	}
 	fmt.Fprintf(out, "wfload: %s mode, %d sessions × ~%d vertices (%d events total), batch=%d, readers=%d/session, reach-batch=%d\n",
 		cfg.mode(), cfg.sessions, cfg.size, total, cfg.batch, cfg.readers, cfg.reachBatch)
+	if cl != nil {
+		byNode := map[string]int{}
+		for _, l := range loads {
+			byNode[cl.Owner(l.name)]++
+		}
+		fmt.Fprintf(out, "wfload: cluster of %d node(s), session placement:", len(cl.NodeNames()))
+		for _, n := range cl.NodeNames() {
+			fmt.Fprintf(out, " %s=%d", n, byNode[n])
+		}
+		fmt.Fprintln(out)
+	}
 
 	for _, l := range loads {
 		req := client.CreateSessionRequest{Name: l.name, Builtin: cfg.spec}
 		if cfg.shards > 0 {
 			req.Shards = cfg.shards
 		}
-		if _, err := c.CreateSession(ctx, req); err != nil {
+		if _, err := d.CreateSession(ctx, req); err != nil {
 			return fmt.Errorf("create session %s: %w", l.name, err)
 		}
 	}
@@ -390,6 +483,16 @@ func run(cfg config, out io.Writer) error {
 			firstErr = err
 		}
 		errMu.Unlock()
+	}
+
+	// Per-node ingest counters: in cluster mode every acknowledged batch
+	// is attributed to the session's owner at that moment, so a moved
+	// session's events split across its successive owners.
+	perNode := map[string]*atomic.Int64{}
+	if cl != nil {
+		for _, n := range cl.NodeNames() {
+			perNode[n] = new(atomic.Int64)
+		}
 	}
 
 	// With a replica, sample its lag throughout the run: the primary's
@@ -449,6 +552,31 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	start := time.Now()
+
+	// The live move: wait until a quarter of the stream is acknowledged
+	// (the cluster is busy), then transfer the named session while its
+	// writer keeps going.
+	var moveRep *reportMove
+	if moveSession != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ingested.Load() < int64(total/4) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			t0 := time.Now()
+			mv, err := cl.Move(ctx, moveSession, moveTarget)
+			if err != nil {
+				setErr(fmt.Errorf("move %s to %s: %w", moveSession, moveTarget, err))
+				return
+			}
+			errMu.Lock()
+			moveRep = &reportMove{Session: moveSession, From: mv.From, To: mv.To,
+				Events: mv.Events, Sec: time.Since(t0).Seconds()}
+			errMu.Unlock()
+		}()
+	}
+
 	for i := range loads {
 		l := loads[i]
 		watermark := new(atomic.Int64)
@@ -461,13 +589,16 @@ func run(cfg config, out io.Writer) error {
 			for lo := 0; lo < len(l.events); lo += cfg.batch {
 				hi := min(lo+cfg.batch, len(l.events))
 				t0 := time.Now()
-				_, err := ingestBatch(ctx, cfg, c, l.name, l.events[lo:hi])
+				_, err := ingestBatch(ctx, cfg, d, l.name, l.events[lo:hi])
 				ingestLat.add(time.Since(t0))
 				if err != nil {
 					setErr(fmt.Errorf("ingest %s at %d: %w", l.name, lo, err))
 					return
 				}
 				ingested.Add(int64(hi - lo))
+				if cl != nil {
+					perNode[cl.Owner(l.name)].Add(int64(hi - lo))
+				}
 				watermark.Store(int64(hi))
 			}
 		}()
@@ -495,7 +626,7 @@ func run(cfg config, out io.Writer) error {
 						if cfg.legacy {
 							_, err = c.LineageLegacy(ctx, l.name, v)
 						} else {
-							_, err = rc.Lineage(ctx, l.name, v)
+							_, err = rd.Lineage(ctx, l.name, v)
 						}
 						queryLat.add(time.Since(t0))
 						if err != nil {
@@ -532,7 +663,7 @@ func run(cfg config, out io.Writer) error {
 						}
 					}
 					t0 := time.Now()
-					answers, err := rc.ReachBatch(ctx, l.name, pairs)
+					answers, err := rd.ReachBatch(ctx, l.name, pairs)
 					queryLat.add(time.Since(t0))
 					if err != nil {
 						queryErrs.Add(1)
@@ -596,6 +727,19 @@ func run(cfg config, out io.Writer) error {
 	fmt.Fprintf(out, "ingest: %d events in %v  (%.0f events/sec)\n",
 		ingested.Load(), elapsed.Round(time.Millisecond),
 		float64(ingested.Load())/elapsed.Seconds())
+	var nodeRep map[string]reportNode
+	if cl != nil {
+		nodeRep = make(map[string]reportNode, len(perNode))
+		for _, n := range cl.NodeNames() {
+			ev := perNode[n].Load()
+			nodeRep[n] = reportNode{IngestEvents: ev, EventsPerSec: float64(ev) / elapsed.Seconds()}
+			fmt.Fprintf(out, "  node %s: %d events  (%.0f events/sec)\n", n, ev, float64(ev)/elapsed.Seconds())
+		}
+	}
+	if moveRep != nil {
+		fmt.Fprintf(out, "move: %s %s->%s, %d events handed off in %.2fs mid-ingest\n",
+			moveRep.Session, moveRep.From, moveRep.To, moveRep.Events, moveRep.Sec)
+	}
 	fmt.Fprintf(out, "ingest batch latency: p50=%v p90=%v p99=%v\n",
 		il.percentile(0.50).Round(time.Microsecond),
 		il.percentile(0.90).Round(time.Microsecond),
@@ -616,7 +760,7 @@ func run(cfg config, out io.Writer) error {
 
 	if cfg.cleanup {
 		for _, l := range loads {
-			if err := c.DeleteSession(ctx, l.name); err != nil {
+			if err := d.DeleteSession(ctx, l.name); err != nil {
 				return fmt.Errorf("cleanup %s: %w", l.name, err)
 			}
 		}
@@ -643,6 +787,10 @@ func run(cfg config, out io.Writer) error {
 			Mode:             cfg.mode(),
 			Replica:          cfg.replica,
 			ReplicaLag:       lag,
+			Cluster:          cfg.clusterFile,
+			Nodes:            len(nodeRep),
+			PerNode:          nodeRep,
+			Move:             moveRep,
 			Sessions:         cfg.sessions,
 			SizePerSession:   cfg.size,
 			Batch:            cfg.batch,

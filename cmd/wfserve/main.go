@@ -58,6 +58,27 @@
 // continuation of everything it replicated, so its next restart
 // recovers normally.
 //
+// # Clustering
+//
+//	wfserve -addr :8081 -data /var/lib/wf-a -cluster cluster.json -node a
+//	wfserve -addr :8082 -data /var/lib/wf-b -cluster cluster.json -node b
+//
+// With -cluster the server is one node of a session-partitioned
+// cluster: the JSON map file (shared by every node) lists the node
+// set, sessions are placed on nodes by consistent hashing on the
+// session name, and each node serves only the sessions it owns.
+// Requests for a session owned elsewhere are rejected with a
+// structured wrong_node error naming the owner's base URL; the Go
+// SDK's client.Cluster follows such rejections automatically. The
+// /v1/cluster routes expose the map, a health view (role, WAL
+// sequences, peer liveness), and POST /v1/cluster/move, which
+// transfers one live session to another node by tailing its WAL —
+// ingest continues on the old owner until the handoff instant, and
+// no acknowledged event is lost. Cluster mode requires -data (moves
+// ride the write-ahead log) and composes with per-node replication:
+// give each node its own -follow replica and record it in the map's
+// "follower" fields so clients can fail over.
+//
 // The versioned /v1 API (wire contract in internal/api, full
 // reference with curl and Go-client snippets in docs/API.md; drive it
 // programmatically with the wfreach/client SDK):
@@ -114,6 +135,8 @@ func main() {
 	follow := flag.String("follow", "", "run as a read-only follower replicating the primary at this base URL")
 	followPoll := flag.Duration("follow-poll", 2*time.Second, "with -follow: session-discovery poll interval")
 	promote := flag.String("promote", "", "admin mode: promote the follower at this base URL to writable, print its status, exit")
+	clusterFile := flag.String("cluster", "", "run as one node of a session-partitioned cluster defined by this JSON map file (requires -data and -node)")
+	nodeName := flag.String("node", "", "with -cluster: this server's node name in the map")
 	var sessions sessionFlags
 	flag.Var(&sessions, "session", "pre-create a session \"name=Builtin\" (repeatable)")
 	flag.Parse()
@@ -133,6 +156,15 @@ func main() {
 	}
 	if *follow != "" && len(sessions) > 0 {
 		fail(fmt.Errorf("-session creates sessions, which a -follow replica must not; drop one of the flags"))
+	}
+	if (*clusterFile == "") != (*nodeName == "") {
+		fail(fmt.Errorf("-cluster and -node go together: the map file defines the cluster, -node says which entry this server is"))
+	}
+	if *clusterFile != "" && *dataDir == "" {
+		fail(fmt.Errorf("-cluster requires -data: session moves ride the write-ahead log"))
+	}
+	if *clusterFile != "" && *follow != "" {
+		fail(fmt.Errorf("-cluster and -follow are different roles: a cluster node is a primary; run its replica as a plain -follow server and list it in the map's follower field"))
 	}
 
 	reg := wfreach.NewRegistry()
@@ -186,6 +218,25 @@ func main() {
 		fmt.Printf("wfserve: session %q on builtin %s\n", name, builtin)
 	}
 
+	var ctl *wfreach.ClusterController
+	if *clusterFile != "" {
+		m, err := wfreach.LoadClusterMap(*clusterFile)
+		if err != nil {
+			fail(err)
+		}
+		ctl, err = wfreach.NewClusterController(*nodeName, m, reg, wfreach.ClusterOptions{
+			Logf: func(format string, args ...any) {
+				fmt.Printf("wfserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		ctl.Start()
+		fmt.Printf("wfserve: cluster node %q of %d (map v%d from %s)\n",
+			*nodeName, len(m.Nodes), m.Version, *clusterFile)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
@@ -214,6 +265,9 @@ func main() {
 		fmt.Printf("wfserve: shutting down (draining up to %v)\n", *drain)
 		if follower != nil {
 			follower.Close()
+		}
+		if ctl != nil {
+			ctl.Close()
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -52,9 +52,21 @@ const (
 	// URL, Location-style — resend the write there (the Go SDK does so
 	// automatically; see PrimaryFromError).
 	CodeReadOnly ErrorCode = "read_only"
-	// CodeNotFollower is a replication operation (promote) on a server
-	// that is not a follower.
+	// CodeNotFollower is a replication operation on a server that is
+	// not a follower. Promote no longer sends it (promoting a writable
+	// server is an idempotent no-op); the code is retained for clients
+	// compiled against older servers.
 	CodeNotFollower ErrorCode = "not_follower"
+	// CodeWrongNode is a session request sent to a cluster node that
+	// does not own the session's placement. The error detail carries
+	// the owning node's base URL — resend the request there (the Go
+	// SDK's cluster client does so automatically; see OwnerFromError).
+	// It differs from CodeReadOnly in that the receiving node has no
+	// copy of the session at all, so not even reads can be served.
+	CodeWrongNode ErrorCode = "wrong_node"
+	// CodeNotClustered is a cluster operation (map, health, move) on a
+	// server that is not running in cluster mode.
+	CodeNotClustered ErrorCode = "not_clustered"
 	// CodeNotDurable is a WAL tail request against a session that has
 	// no write-ahead log to ship (a memory-only session, or one whose
 	// log failed); there is nothing a replica could replay.
@@ -78,11 +90,11 @@ func (c ErrorCode) HTTPStatus() int {
 	switch c {
 	case CodeSessionNotFound, CodeVertexNotLabeled, CodeNotFound:
 		return http.StatusNotFound
-	case CodeSessionExists, CodeNotFollower:
+	case CodeSessionExists, CodeNotFollower, CodeNotClustered:
 		return http.StatusConflict
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
-	case CodeReadOnly:
+	case CodeReadOnly, CodeWrongNode:
 		// The request was sent to the wrong server, not malformed; 421
 		// also keeps write-redirect handling out of generic 4xx/5xx
 		// retry logic.
@@ -157,6 +169,19 @@ func AsError(err error, fallback ErrorCode) *Error {
 func PrimaryFromError(err error) (string, bool) {
 	var ae *Error
 	if errors.As(err, &ae) && ae.Code == CodeReadOnly && ae.Detail != "" {
+		return ae.Detail, true
+	}
+	return "", false
+}
+
+// OwnerFromError extracts the owning node's base URL from a cluster
+// node's misdirected-session rejection: a *Error (possibly wrapped)
+// with CodeWrongNode whose detail carries the address. Together with
+// PrimaryFromError it is how a routing client chases a session to
+// where it actually lives.
+func OwnerFromError(err error) (string, bool) {
+	var ae *Error
+	if errors.As(err, &ae) && ae.Code == CodeWrongNode && ae.Detail != "" {
 		return ae.Detail, true
 	}
 	return "", false

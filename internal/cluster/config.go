@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"wfreach/internal/api"
+)
+
+// LoadMap reads a cluster map from a JSON config file (the -cluster
+// flag). The file is the api.ClusterMap wire shape:
+//
+//	{
+//	  "version": 1,
+//	  "nodes": [
+//	    {"name": "a", "url": "http://127.0.0.1:8081", "follower": "http://127.0.0.1:9081"},
+//	    {"name": "b", "url": "http://127.0.0.1:8082", "weight": 2}
+//	  ]
+//	}
+//
+// Every node in a cluster loads the same file; placement is
+// deterministic in the map, so no further coordination is needed to
+// agree who owns what. Overrides in the file are honored (an operator
+// can pin sessions), though they normally appear only at runtime, as
+// moves install them.
+func LoadMap(path string) (api.ClusterMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return api.ClusterMap{}, fmt.Errorf("cluster: read map: %w", err)
+	}
+	var m api.ClusterMap
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return api.ClusterMap{}, fmt.Errorf("cluster: parse map %s: %w", path, err)
+	}
+	if err := ValidateMap(m); err != nil {
+		return api.ClusterMap{}, fmt.Errorf("cluster: map %s: %w", path, err)
+	}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].Name < m.Nodes[j].Name })
+	return m, nil
+}
+
+// ValidateMap checks a map's internal consistency: non-empty unique
+// node names, parseable absolute base URLs, non-negative weights, and
+// overrides that name known nodes.
+func ValidateMap(m api.ClusterMap) error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("no nodes")
+	}
+	names := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("node %d has no name", i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if err := checkBaseURL(n.URL); err != nil {
+			return fmt.Errorf("node %q: %w", n.Name, err)
+		}
+		if n.Follower != "" {
+			if err := checkBaseURL(n.Follower); err != nil {
+				return fmt.Errorf("node %q follower: %w", n.Name, err)
+			}
+		}
+		if n.Weight < 0 {
+			return fmt.Errorf("node %q: negative weight %d", n.Name, n.Weight)
+		}
+	}
+	for sess, ov := range m.Overrides {
+		if !names[ov.Node] {
+			return fmt.Errorf("override for session %q names unknown node %q", sess, ov.Node)
+		}
+	}
+	return nil
+}
+
+// checkBaseURL requires an absolute http(s) URL with a host.
+func checkBaseURL(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty url")
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return fmt.Errorf("bad url %q: %w", s, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("url %q is not an absolute http(s) base url", s)
+	}
+	return nil
+}

@@ -1,0 +1,583 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"wfreach/internal/api"
+	"wfreach/internal/service"
+	"wfreach/internal/spec"
+	"wfreach/internal/wal"
+	"wfreach/internal/wfxml"
+)
+
+// Options configures a Controller.
+type Options struct {
+	// ProbeInterval is how often peers are probed for liveness and map
+	// version. Zero selects 2s.
+	ProbeInterval time.Duration
+	// HTTPTimeout bounds each unary peer call (map fetch, stats, spec,
+	// release). Zero selects 10s. Tail streams and forwarded moves are
+	// bounded by the request context instead.
+	HTTPTimeout time.Duration
+	// BatchSize caps how many tailed events a move applies per ingest
+	// call. Zero selects 256.
+	BatchSize int
+	// Logf, when set, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.HTTPTimeout <= 0 {
+		o.HTTPTimeout = 10 * time.Second
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+}
+
+// peerState is the prober's record of one other node.
+type peerState struct {
+	node       api.ClusterNode
+	up         bool
+	mapVersion int64
+	lastErr    string
+	lastSeen   time.Time // zero: never answered
+}
+
+// Controller runs one node's share of the cluster: it gates the HTTP
+// surface by placement (service.ClusterHooks), serves the /v1/cluster
+// control plane, probes the peers, and executes session moves by
+// tailing the owner's WAL — the same replay a follower runs, driven to
+// a sealed final sequence instead of forever.
+//
+// The controller deliberately talks raw HTTP + api types to its peers
+// rather than the client SDK: the SDK's cluster client imports this
+// package for placement, so the dependency must point one way.
+type Controller struct {
+	self  api.ClusterNode
+	state *State
+	reg   *service.Registry
+	opts  Options
+	hc    *http.Client
+
+	mu     sync.Mutex
+	peers  map[string]*peerState
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// moveMu serializes moves arriving at this node; concurrent moves
+	// of different sessions would be fine, but one at a time keeps the
+	// seal/override interleavings trivial to reason about.
+	moveMu sync.Mutex
+}
+
+// New builds the controller for node self over the map and installs
+// its hooks on the registry — from that point the registry's HTTP
+// surface is placement-gated and the /v1/cluster routes answer. The
+// prober is idle until Start.
+func New(self string, m api.ClusterMap, reg *service.Registry, opts Options) (*Controller, error) {
+	opts.fill()
+	if err := ValidateMap(m); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	st, err := NewState(m)
+	if err != nil {
+		return nil, err
+	}
+	me, ok := m.Node(self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: this node %q is not in the cluster map", self)
+	}
+	c := &Controller{
+		self:  me,
+		state: st,
+		reg:   reg,
+		opts:  opts,
+		hc:    &http.Client{},
+		peers: make(map[string]*peerState),
+	}
+	for _, n := range m.Nodes {
+		if n.Name != self {
+			c.peers[n.Name] = &peerState{node: n}
+		}
+	}
+	reg.SetClusterHooks(service.ClusterHooks{
+		Route:   c.Route,
+		Map:     c.Map,
+		Health:  c.Health,
+		Move:    c.Move,
+		Release: c.Release,
+		Forget:  c.state.DropOverride,
+	})
+	return c, nil
+}
+
+// Self returns this node's map entry.
+func (c *Controller) Self() api.ClusterNode { return c.self }
+
+// State returns the controller's live map state.
+func (c *Controller) State() *State { return c.state }
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Start launches the peer prober in the background.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.probeLoop(ctx)
+	}()
+}
+
+// Close stops the prober. The hooks stay installed; the node keeps
+// routing with the map it has.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	cancel := c.cancel
+	c.cancel = nil
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	c.wg.Wait()
+}
+
+// Route is the placement gate (service.ClusterHooks.Route): nil when
+// this node serves the session, a typed rejection naming the owner
+// otherwise. Reads against a retained local copy of a moved session
+// are served — stale, exactly like a follower's.
+func (c *Controller) Route(session string, write bool) error {
+	owner := c.state.Place(session)
+	if owner.Name == c.self.Name {
+		return nil
+	}
+	if _, ok := c.reg.Get(session); ok {
+		if !write {
+			return nil
+		}
+		return api.Errorf(api.CodeReadOnly, "session %q moved to node %s", session, owner.Name).
+			WithDetail("%s", owner.URL)
+	}
+	return api.Errorf(api.CodeWrongNode, "session %q is owned by node %s", session, owner.Name).
+		WithDetail("%s", owner.URL)
+}
+
+// Map snapshots the node's cluster map.
+func (c *Controller) Map() api.ClusterMap { return c.state.Map() }
+
+// Health builds the node's cluster health: role and WAL sequences from
+// the replication status, peers from the prober.
+func (c *Controller) Health() api.ClusterHealth {
+	rs := c.reg.ReplicationStatus()
+	return api.ClusterHealth{
+		Node:       c.self.Name,
+		MapVersion: c.state.Version(),
+		Role:       rs.Role,
+		Sessions:   rs.Sessions,
+		Peers:      c.peerView(),
+	}
+}
+
+// peerView snapshots the prober's peer records, sorted by name.
+func (c *Controller) peerView() []api.ClusterPeer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]api.ClusterPeer, 0, len(c.peers))
+	for _, p := range c.peers {
+		age := int64(-1)
+		if !p.lastSeen.IsZero() {
+			age = time.Since(p.lastSeen).Milliseconds()
+		}
+		out = append(out, api.ClusterPeer{
+			Name: p.node.Name, URL: p.node.URL,
+			Up: p.up, MapVersion: p.mapVersion, Error: p.lastErr, AgeMS: age,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// probeLoop polls every peer's map endpoint: liveness for the health
+// report, and map merging so overrides installed by moves elsewhere
+// reach this node without waiting for a misroute.
+func (c *Controller) probeLoop(ctx context.Context) {
+	ticker := time.NewTicker(c.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		c.probeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (c *Controller) probeOnce(ctx context.Context) {
+	c.mu.Lock()
+	peers := make([]*peerState, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+	for _, p := range peers {
+		var m api.ClusterMap
+		err := c.getJSON(ctx, p.node.URL, "/v1/cluster/map", &m)
+		c.mu.Lock()
+		if err != nil {
+			p.up, p.lastErr = false, err.Error()
+			c.mu.Unlock()
+			continue
+		}
+		p.up, p.lastErr, p.mapVersion, p.lastSeen = true, "", m.Version, time.Now()
+		c.mu.Unlock()
+		if changed, err := c.state.Merge(m); err != nil {
+			c.logf("cluster: merge map from %s: %v", p.node.Name, err)
+		} else if changed {
+			c.logf("cluster: adopted map v%d from %s", c.state.Version(), p.node.Name)
+		}
+	}
+}
+
+// Move moves req.Session to req.Target. POSTed to any node: the target
+// executes the receive protocol, every other node forwards. Moving a
+// session to the node that already owns it is the identity move and
+// succeeds immediately.
+func (c *Controller) Move(ctx context.Context, req api.MoveRequest) (api.MoveResponse, error) {
+	if req.Session == "" {
+		return api.MoveResponse{}, api.Errorf(api.CodeBadRequest, "move wants a session name")
+	}
+	target, ok := c.state.Map().Node(req.Target)
+	if !ok {
+		return api.MoveResponse{}, api.Errorf(api.CodeBadRequest, "unknown target node %q", req.Target)
+	}
+	if target.Name != c.self.Name {
+		var resp api.MoveResponse
+		if err := c.postJSON(ctx, target.URL, "/v1/cluster/move", req, &resp, false); err != nil {
+			return api.MoveResponse{}, err
+		}
+		if _, merr := c.state.Merge(resp.Map); merr != nil {
+			c.logf("cluster: merge map after forwarded move: %v", merr)
+		}
+		return resp, nil
+	}
+	c.moveMu.Lock()
+	defer c.moveMu.Unlock()
+	return c.receiveMove(ctx, req.Session)
+}
+
+// receiveMove runs the target side of a move of session to this node:
+//
+//  1. adopt — rebuild the session locally from the owner's spec and
+//     labeling config (or resume a copy left by an earlier attempt,
+//     identity-checked);
+//  2. catch up — tail the owner's WAL wait=false until a round ships
+//     nothing new;
+//  3. release — ask the owner to seal the session and install the
+//     override; the owner answers with the final sealed sequence;
+//  4. drain — tail until the local copy has applied through it;
+//  5. adopt the owner's map (which now carries the override) and serve.
+//
+// Ordering is what makes the move lossless: the seal (under the
+// owner's ingest lock) fixes the final sequence after which no write
+// can land on the owner, and this node only starts accepting writes —
+// step 5 flips Route — once it has applied everything up to it.
+func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveResponse, error) {
+	owner := c.state.Place(session)
+	if owner.Name == c.self.Name {
+		s, ok := c.reg.Get(session)
+		if !ok {
+			return api.MoveResponse{}, api.Errorf(api.CodeSessionNotFound, "no session %q anywhere in the cluster", session)
+		}
+		// Idempotent: already here (a re-POSTed move, or a hash-placed
+		// session "moved" home).
+		return api.MoveResponse{Session: session, From: c.self.Name, To: c.self.Name,
+			Events: s.Vertices(), Map: c.state.Map()}, nil
+	}
+	c.logf("cluster: moving session %q from %s to %s", session, owner.Name, c.self.Name)
+
+	var pst api.SessionStats
+	if err := c.getJSON(ctx, owner.URL, "/v1/sessions/"+url.PathEscape(session), &pst); err != nil {
+		return api.MoveResponse{}, fmt.Errorf("cluster: fetch session %q from %s: %w", session, owner.Name, err)
+	}
+	s, err := c.adopt(ctx, owner, pst)
+	if err != nil {
+		return api.MoveResponse{}, err
+	}
+
+	// Catch up while the owner is still ingesting; each round drains the
+	// currently committed history. When a round ships nothing we are as
+	// close as tailing gets — time to seal.
+	for {
+		n, err := c.tailRound(ctx, s, owner.URL, session)
+		if err != nil {
+			return api.MoveResponse{}, fmt.Errorf("cluster: catch up %q from %s: %w", session, owner.Name, err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+
+	var rel api.ReleaseResponse
+	relReq := api.ReleaseRequest{Session: session, Node: c.self.Name, URL: c.self.URL}
+	if err := c.postJSON(ctx, owner.URL, "/v1/cluster/release", relReq, &rel, true); err != nil {
+		return api.MoveResponse{}, fmt.Errorf("cluster: release %q on %s: %w", session, owner.Name, err)
+	}
+
+	// Drain to the sealed final sequence. The last batch's commit may
+	// still be in flight on the owner (the tailer only ships durable
+	// records), so an empty round while still behind just retries.
+	for s.Vertices() < rel.FinalSeq {
+		n, err := c.tailRound(ctx, s, owner.URL, session)
+		if err != nil {
+			return api.MoveResponse{}, fmt.Errorf("cluster: drain %q to seq %d: %w", session, rel.FinalSeq, err)
+		}
+		if n == 0 && s.Vertices() < rel.FinalSeq {
+			select {
+			case <-ctx.Done():
+				return api.MoveResponse{}, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	// Everything is here; adopting the owner's map (override included)
+	// flips Route and this node starts serving the session.
+	if _, err := c.state.Merge(rel.Map); err != nil {
+		return api.MoveResponse{}, fmt.Errorf("cluster: adopt released map: %w", err)
+	}
+	c.logf("cluster: session %q now served here (%d events, map v%d)", session, s.Vertices(), c.state.Version())
+	return api.MoveResponse{Session: session, From: owner.Name, To: c.self.Name,
+		Events: s.Vertices(), Map: c.state.Map()}, nil
+}
+
+// adopt rebuilds (or resumes) the local copy of the owner's session,
+// mirroring what a replica does: fetch the spec, compile, copy the
+// labeling configuration and the identity.
+func (c *Controller) adopt(ctx context.Context, owner api.ClusterNode, pst api.SessionStats) (*service.Session, error) {
+	if s, ok := c.reg.Get(pst.Name); ok {
+		if lid := s.ID(); lid != "" && pst.ID != "" && lid != pst.ID {
+			return nil, api.Errorf(api.CodeSessionExists,
+				"local copy of %q has identity %s, the owner's is %s; delete the local copy first", pst.Name, lid, pst.ID)
+		}
+		return s, nil
+	}
+	raw, err := c.getBytes(ctx, owner.URL, "/v1/sessions/"+url.PathEscape(pst.Name)+"/spec")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch spec of %q: %w", pst.Name, err)
+	}
+	sp, err := wfxml.DecodeSpec(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decode spec of %q: %w", pst.Name, err)
+	}
+	g, err := spec.Compile(sp)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compile spec of %q: %w", pst.Name, err)
+	}
+	cfg, err := service.ParseConfig(pst.Skeleton, pst.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: labeling config of %q: %w", pst.Name, err)
+	}
+	cfg.Shards = len(pst.Shards)
+	// The copy keeps the owner session's identity: a move transfers the
+	// session, it does not mint a new one.
+	cfg.ID = pst.ID
+	return c.reg.Create(pst.Name, g, cfg)
+}
+
+// tailRound drains the owner's currently committed WAL history for the
+// session into the local copy (wait=false: the stream ends at the
+// committed horizon) and returns how many events it applied. The local
+// vertex count is the resume cursor — every applied event labels
+// exactly one vertex, so it equals the last applied owner sequence.
+func (c *Controller) tailRound(ctx context.Context, s *service.Session, ownerURL, session string) (int64, error) {
+	from := s.Vertices() + 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/sessions/%s/wal?from=%d&wait=false", ownerURL, url.PathEscape(session), from), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeAPIError(resp)
+	}
+
+	tr := api.NewTailReader(resp.Body)
+	var applied int64
+	recs := make([]wal.Record, 0, c.opts.BatchSize)
+	frames := make([][]byte, 0, c.opts.BatchSize)
+	var frameBuf []byte
+	apply := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		n, err := s.AppendRecords(recs, frames)
+		applied += int64(n)
+		if err != nil {
+			// Labeling is deterministic; a rejected replayed event means
+			// the copy diverged from the owner's log.
+			return fmt.Errorf("apply at seq %d: %w", s.Vertices(), err)
+		}
+		recs, frames, frameBuf = recs[:0], frames[:0], frameBuf[:0]
+		return nil
+	}
+	for {
+		entry, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return applied, apply()
+		}
+		if err != nil {
+			if aerr := apply(); aerr != nil {
+				return applied, aerr
+			}
+			return applied, err
+		}
+		if expect := s.Vertices() + int64(len(recs)) + 1; entry.Seq != expect {
+			if aerr := apply(); aerr != nil {
+				return applied, aerr
+			}
+			return applied, fmt.Errorf("tail of %q jumped to seq %d, want %d", session, entry.Seq, expect)
+		}
+		// The entry's frame is reused by the next read; stash a copy in
+		// one grow-only batch buffer.
+		start := len(frameBuf)
+		frameBuf = append(frameBuf, entry.Frame...)
+		recs = append(recs, entry.Record)
+		frames = append(frames, frameBuf[start:len(frameBuf):len(frameBuf)])
+		if len(recs) >= c.opts.BatchSize {
+			if err := apply(); err != nil {
+				return applied, err
+			}
+		}
+	}
+}
+
+// Release is the owner side of a move (service.ClusterHooks.Release):
+// seal the session — fixing the last sequence any writer got in — and
+// install the override so this node's own map names the new owner.
+// Re-POSTing is safe: sealing twice is a no-op and the override just
+// re-installs.
+func (c *Controller) Release(_ context.Context, req api.ReleaseRequest) (api.ReleaseResponse, error) {
+	if req.Session == "" || req.Node == "" || req.URL == "" {
+		return api.ReleaseResponse{}, api.Errorf(api.CodeBadRequest, "release wants session, node and url")
+	}
+	s, ok := c.reg.Get(req.Session)
+	if !ok {
+		return api.ReleaseResponse{}, api.Errorf(api.CodeSessionNotFound, "no session %q", req.Session)
+	}
+	final := s.Seal(req.URL)
+	if _, err := c.state.Override(req.Session, req.Node); err != nil {
+		return api.ReleaseResponse{}, api.Errorf(api.CodeBadRequest, "%v", err)
+	}
+	c.logf("cluster: released session %q to %s at seq %d (map v%d)", req.Session, req.Node, final, c.state.Version())
+	return api.ReleaseResponse{FinalSeq: final, Map: c.state.Map()}, nil
+}
+
+// getJSON GETs base+path with the unary timeout and decodes the JSON
+// response into out.
+func (c *Controller) getJSON(ctx context.Context, base, path string, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.HTTPTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getBytes GETs base+path with the unary timeout and returns the body.
+func (c *Controller) getBytes(ctx context.Context, base, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.HTTPTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// postJSON POSTs body as JSON to base+path and decodes the response
+// into out. unary applies the unary timeout; a forwarded move runs on
+// the caller's context alone (it can legitimately take as long as the
+// catch-up does).
+func (c *Controller) postJSON(ctx context.Context, base, path string, body, out any, unary bool) error {
+	if unary {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.HTTPTimeout)
+		defer cancel()
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", api.ContentTypeJSON)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError rebuilds the structured error from a non-2xx peer
+// response.
+func decodeAPIError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var er api.ErrorResponse
+	if json.Unmarshal(b, &er) == nil && er.Err != nil && er.Err.Code != "" {
+		er.Err.HTTPStatus = resp.StatusCode
+		return er.Err
+	}
+	return api.Errorf(api.CodeUnknown, "unexpected status %s", resp.Status)
+}

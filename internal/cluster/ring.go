@@ -1,0 +1,129 @@
+// Package cluster shards labeling sessions across multiple primary
+// servers. The paper's labeling scheme is per-execution by
+// construction — sessions never share label state — so the session is
+// the natural shard key: a cluster is simply N independent primaries
+// plus an agreement about which one owns which session.
+//
+// That agreement is the cluster map (api.ClusterMap): a static node
+// set hashed onto a consistent-hash ring, plus explicit per-session
+// overrides for sessions that were moved. Placement is a pure function
+// of the map, so every node and every client holding the same map
+// routes identically, and a stale map costs exactly one redirect (the
+// rejection names the owner).
+//
+// The package provides the ring (ring.go), the node-local map state
+// with merge semantics (state.go), map-file loading (config.go), and
+// the control-plane handlers + session mover (controller.go). The
+// mover rides the replication machinery from internal/replica: the
+// target tails the session's WAL from the owner, catches up, asks the
+// owner to seal the session and install the override, drains the tail
+// to the sealed final sequence, and starts serving.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"wfreach/internal/api"
+)
+
+// pointsPerWeight is the number of virtual ring points per unit of
+// node weight. 64 points keep the load spread within a few percent of
+// proportional for small clusters while the ring stays tiny.
+const pointsPerWeight = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring places session names on nodes by consistent hashing: each node
+// contributes weight×64 virtual points, a session maps to the first
+// point clockwise of its hash. Adding or removing one node only moves
+// the sessions that hashed to that node's points — the property that
+// makes future membership changes cheap. A Ring is immutable after
+// New.
+type Ring struct {
+	nodes  []api.ClusterNode
+	points []ringPoint
+}
+
+// NewRing builds the ring over the map's node set. Node names must be
+// unique and non-empty.
+func NewRing(nodes []api.ClusterNode) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node set")
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{nodes: append([]api.ClusterNode(nil), nodes...)}
+	for i, n := range r.nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		w := n.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for p := 0; p < w*pointsPerWeight; p++ {
+			// FNV values of near-identical strings ("a#0", "a#1", …)
+			// are heavily correlated, which bunches a node's points on
+			// one stretch of the ring; the finalizer scatters them.
+			r.points = append(r.points, ringPoint{hash: mix64(hash64(fmt.Sprintf("%s#%d", n.Name, p))), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Colliding points order by node name so every builder of the
+		// same node set agrees on the winner.
+		return r.nodes[r.points[a].node].Name < r.nodes[r.points[b].node].Name
+	})
+	return r, nil
+}
+
+// Place returns the node owning the session by hash placement alone
+// (overrides are the State's business, see State.Place).
+func (r *Ring) Place(session string) api.ClusterNode {
+	// Session names come in correlated families too ("load-0",
+	// "load-1", …), so the key gets the same avalanche as the points —
+	// without it a dozen sibling sessions can all land on one arc.
+	h := mix64(hash64(session))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise of the top of the ring
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the ring's node set (shared; callers must not mutate).
+func (r *Ring) Nodes() []api.ClusterNode { return r.nodes }
+
+// hash64 is the ring's hash function. FNV-1a is stable across
+// processes and platforms — a requirement, since clients and servers
+// must compute identical placements — and plenty uniform for spreading
+// sessions over a few dozen virtual points per node.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is a murmur3-style finalizer: a bijective avalanche over the
+// point hashes so virtual points spread uniformly around the ring
+// regardless of how correlated their source strings are. Like the
+// hash, it must never change — placement depends on it.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

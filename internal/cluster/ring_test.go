@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wfreach/internal/api"
+)
+
+func threeNodes() []api.ClusterNode {
+	return []api.ClusterNode{
+		{Name: "a", URL: "http://127.0.0.1:8081"},
+		{Name: "b", URL: "http://127.0.0.1:8082"},
+		{Name: "c", URL: "http://127.0.0.1:8083"},
+	}
+}
+
+// Placement must be a pure function of the node set: two rings built
+// from the same nodes (in any order) agree on every session, because
+// servers and clients compute placement independently.
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing(threeNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := threeNodes()
+	reversed[0], reversed[2] = reversed[2], reversed[0]
+	r2, err := NewRing(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("session-%d", i)
+		if a, b := r1.Place(s).Name, r2.Place(s).Name; a != b {
+			t.Fatalf("placement of %q differs across build orders: %s vs %s", s, a, b)
+		}
+	}
+}
+
+// Every node must receive a meaningful share of the sessions, and a
+// double-weight node about double the share.
+func TestRingSpreadAndWeight(t *testing.T) {
+	nodes := threeNodes()
+	nodes[1].Weight = 2
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Place(fmt.Sprintf("session-%d", i)).Name]++
+	}
+	// Expected shares: a=1/4, b=2/4, c=1/4. Allow generous slack —
+	// 64 points per weight unit spreads within a few percent, the
+	// test just guards against gross skew.
+	for name, share := range map[string]float64{"a": 0.25, "b": 0.5, "c": 0.25} {
+		got := float64(counts[name]) / n
+		if got < share/2 || got > share*1.6 {
+			t.Errorf("node %s got share %.3f, want about %.2f (counts %v)", name, got, share, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadNodeSets(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewRing([]api.ClusterNode{{Name: "", URL: "http://x"}}); err == nil {
+		t.Error("unnamed node accepted")
+	}
+	if _, err := NewRing([]api.ClusterNode{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate node name accepted")
+	}
+}
+
+// Overrides beat hash placement, versions ratchet, and DropOverride
+// reverts to the ring.
+func TestStateOverridePrecedence(t *testing.T) {
+	st, err := NewState(api.ClusterMap{Version: 3, Nodes: threeNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := st.Place("s1").Name
+	away := "a"
+	if home == "a" {
+		away = "b"
+	}
+	ov, err := st.Override("s1", away)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Version <= 3 {
+		t.Fatalf("override version %d did not rise past the map's", ov.Version)
+	}
+	if got := st.Place("s1").Name; got != away {
+		t.Fatalf("after override placed on %s, want %s", got, away)
+	}
+	if _, err := st.Override("s1", "nope"); err == nil {
+		t.Error("override naming unknown node accepted")
+	}
+	v := st.Version()
+	st.DropOverride("s1")
+	if got := st.Place("s1").Name; got != home {
+		t.Fatalf("after drop placed on %s, want ring placement %s", got, home)
+	}
+	if st.Version() <= v {
+		t.Error("drop did not bump the version")
+	}
+	st.DropOverride("s1") // no-op drop must not bump again
+	if st.Version() != v+1 {
+		t.Errorf("idempotent drop changed version to %d, want %d", st.Version(), v+1)
+	}
+}
+
+// Merge adopts newer overrides, ignores older ones, and rejects maps
+// describing a different cluster.
+func TestStateMerge(t *testing.T) {
+	st, err := NewState(api.ClusterMap{Version: 1, Nodes: threeNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := api.ClusterMap{Version: 5, Nodes: threeNodes(),
+		Overrides: map[string]api.ClusterOverride{"s1": {Node: "c", Version: 5}}}
+	changed, err := st.Merge(peer)
+	if err != nil || !changed {
+		t.Fatalf("merge: changed=%v err=%v", changed, err)
+	}
+	if st.Version() != 5 || st.Place("s1").Name != "c" {
+		t.Fatalf("after merge: version %d, s1 on %s", st.Version(), st.Place("s1").Name)
+	}
+	// Replaying the same map is a no-op.
+	if changed, err = st.Merge(peer); err != nil || changed {
+		t.Fatalf("replayed merge: changed=%v err=%v", changed, err)
+	}
+	// A stale override must not roll the session back.
+	stale := api.ClusterMap{Version: 2, Nodes: threeNodes(),
+		Overrides: map[string]api.ClusterOverride{"s1": {Node: "a", Version: 2}}}
+	if _, err := st.Merge(stale); err != nil {
+		t.Fatal(err)
+	}
+	if st.Place("s1").Name != "c" {
+		t.Errorf("stale override won: s1 on %s, want c", st.Place("s1").Name)
+	}
+	// Foreign node sets are a configuration error, not mergeable.
+	alien := api.ClusterMap{Version: 9, Nodes: []api.ClusterNode{{Name: "z", URL: "http://z"}}}
+	if _, err := st.Merge(alien); err == nil {
+		t.Error("merge of a foreign node set accepted")
+	}
+}
+
+func TestLoadMap(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{
+		"version": 1,
+		"nodes": [
+			{"name": "b", "url": "http://127.0.0.1:8082", "weight": 2},
+			{"name": "a", "url": "http://127.0.0.1:8081", "follower": "http://127.0.0.1:9081"}
+		]
+	}`)
+	m, err := LoadMap(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes) != 2 || m.Nodes[0].Name != "a" || m.Nodes[1].Weight != 2 {
+		t.Fatalf("loaded map %+v", m)
+	}
+	for name, body := range map[string]string{
+		"unknown-field.json": `{"nodes": [{"name": "a", "url": "http://x"}], "primary": "a"}`,
+		"no-nodes.json":      `{"version": 1}`,
+		"bad-url.json":       `{"nodes": [{"name": "a", "url": "127.0.0.1:8081"}]}`,
+		"dup.json":           `{"nodes": [{"name": "a", "url": "http://x"}, {"name": "a", "url": "http://y"}]}`,
+		"bad-override.json":  `{"nodes": [{"name": "a", "url": "http://x"}], "overrides": {"s": {"node": "z"}}}`,
+	} {
+		if _, err := LoadMap(write(name, body)); err == nil {
+			t.Errorf("%s accepted", name)
+		} else if !strings.Contains(err.Error(), "cluster:") {
+			t.Errorf("%s: error %v lacks package prefix", name, err)
+		}
+	}
+}

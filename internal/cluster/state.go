@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"wfreach/internal/api"
+)
+
+// State is a node's (or client's) live view of the cluster map: the
+// immutable ring plus the mutable, versioned override set. All methods
+// are safe for concurrent use.
+type State struct {
+	ring *Ring
+
+	mu        sync.RWMutex
+	version   int64
+	overrides map[string]api.ClusterOverride
+}
+
+// NewState builds a State over the map. The node set must be
+// non-empty; overrides naming unknown nodes are rejected.
+func NewState(m api.ClusterMap) (*State, error) {
+	ring, err := NewRing(m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{ring: ring, version: m.Version, overrides: make(map[string]api.ClusterOverride)}
+	for sess, ov := range m.Overrides {
+		if _, ok := st.node(ov.Node); !ok {
+			return nil, fmt.Errorf("cluster: override for session %q names unknown node %q", sess, ov.Node)
+		}
+		st.overrides[sess] = ov
+		if ov.Version > st.version {
+			st.version = ov.Version
+		}
+	}
+	return st, nil
+}
+
+// Ring returns the state's placement ring.
+func (s *State) Ring() *Ring { return s.ring }
+
+// Version returns the current map version.
+func (s *State) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Place returns the node owning the session: its override if one is
+// installed, else its hash placement.
+func (s *State) Place(session string) api.ClusterNode {
+	s.mu.RLock()
+	ov, ok := s.overrides[session]
+	s.mu.RUnlock()
+	if ok {
+		if n, found := s.node(ov.Node); found {
+			return n
+		}
+	}
+	return s.ring.Place(session)
+}
+
+// Override installs (or replaces) the session's placement override and
+// bumps the map version past both the current version and the
+// override's. It returns the installed override — the caller gossips
+// it by answering with the new map. Unknown node names are an error.
+func (s *State) Override(session, node string) (api.ClusterOverride, error) {
+	if _, ok := s.node(node); !ok {
+		return api.ClusterOverride{}, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	if old, ok := s.overrides[session]; ok && old.Version >= s.version {
+		s.version = old.Version + 1
+	}
+	ov := api.ClusterOverride{Node: node, Version: s.version}
+	s.overrides[session] = ov
+	return ov, nil
+}
+
+// DropOverride removes the session's override (a deleted session's
+// placement reverts to the ring). The map version is bumped so peers
+// notice the change; the removal itself does not gossip (a peer's
+// stale override merely costs the next request a redirect).
+func (s *State) DropOverride(session string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.overrides[session]; ok {
+		delete(s.overrides, session)
+		s.version++
+	}
+}
+
+// Merge folds a peer's map into this one: per session, the override
+// with the higher version wins (a session's overrides are serialized
+// by its successive owners, so the higher version is the newer fact);
+// the version rises to the maximum seen. It reports whether anything
+// changed. Node sets are static in this release and must match; a
+// mismatched node is an error.
+func (s *State) Merge(m api.ClusterMap) (bool, error) {
+	for _, n := range m.Nodes {
+		ours, ok := s.node(n.Name)
+		if !ok || ours.URL != n.URL {
+			return false, fmt.Errorf("cluster: peer map names unknown node %q (%s)", n.Name, n.URL)
+		}
+	}
+	for sess, ov := range m.Overrides {
+		if _, ok := s.node(ov.Node); !ok {
+			return false, fmt.Errorf("cluster: peer override for %q names unknown node %q", sess, ov.Node)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for sess, ov := range m.Overrides {
+		if old, ok := s.overrides[sess]; !ok || ov.Version > old.Version {
+			s.overrides[sess] = ov
+			changed = true
+		}
+	}
+	if m.Version > s.version {
+		s.version = m.Version
+		changed = true
+	}
+	return changed, nil
+}
+
+// Map snapshots the state as a wire map.
+func (s *State) Map() api.ClusterMap {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := api.ClusterMap{Version: s.version, Nodes: append([]api.ClusterNode(nil), s.ring.Nodes()...)}
+	if len(s.overrides) > 0 {
+		m.Overrides = make(map[string]api.ClusterOverride, len(s.overrides))
+		for k, v := range s.overrides {
+			m.Overrides[k] = v
+		}
+	}
+	return m
+}
+
+// node looks a node up by name in the ring's node set.
+func (s *State) node(name string) (api.ClusterNode, bool) {
+	for _, n := range s.ring.Nodes() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return api.ClusterNode{}, false
+}

@@ -172,12 +172,16 @@ func (f *Follower) Close() { f.stop() }
 // fails the dial and the follower keeps everything it already
 // applied — then clear follower mode. After Promote the server
 // ingests writes and its WAL continues exactly where replication
-// stopped.
+// stopped. Promoting twice is a no-op: the second call returns
+// immediately without re-running catch-up or touching the hooks the
+// first promote uninstalled.
 func (f *Follower) Promote(ctx context.Context) error {
 	f.mu.Lock()
 	if f.promoted {
 		f.mu.Unlock()
-		return api.Errorf(api.CodeNotFollower, "already promoted")
+		// Idempotent: the first promote already ran catch-up and
+		// uninstalled the hooks; a re-POST must not do either twice.
+		return nil
 	}
 	f.promoted = true
 	f.mu.Unlock()

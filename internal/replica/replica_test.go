@@ -312,8 +312,13 @@ func TestFollowerPromote(t *testing.T) {
 	if st := fol.Status(); st.Role != "primary" {
 		t.Fatalf("post-promote status role = %q", st.Role)
 	}
-	if err := fol.Promote(ctx); err == nil {
-		t.Fatal("second promote should fail")
+	// Idempotent: a second promote is a no-op, not an error, and must
+	// not disturb the already-writable server.
+	if err := fol.Promote(ctx); err != nil {
+		t.Fatalf("second promote: %v", err)
+	}
+	if _, ok := f.reg.FollowerPrimary(); ok {
+		t.Fatal("second promote flipped the registry back to follower")
 	}
 
 	// Continued ingest straight into the promoted server.

@@ -1,4 +1,4 @@
-package service
+package service_test
 
 import (
 	"context"
@@ -14,13 +14,14 @@ import (
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
 	"wfreach/internal/run"
+	"wfreach/internal/service"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
 )
 
 func benchEvents(b *testing.B, size int) (*spec.Grammar, []run.Event) {
 	b.Helper()
-	s, _ := Builtin("BioAID")
+	s, _ := service.Builtin("BioAID")
 	g, err := spec.Compile(s)
 	if err != nil {
 		b.Fatal(err)
@@ -32,7 +33,7 @@ func benchEvents(b *testing.B, size int) (*spec.Grammar, []run.Event) {
 	return g, events
 }
 
-func ingestAll(b *testing.B, s *Session, events []run.Event, batch int) {
+func ingestAll(b *testing.B, s *service.Session, events []run.Event, batch int) {
 	b.Helper()
 	for i := 0; i < len(events); i += batch {
 		end := min(i+batch, len(events))
@@ -47,10 +48,10 @@ func ingestAll(b *testing.B, s *Session, events []run.Event, batch int) {
 // events/sec — the service hot path future scaling PRs optimize.
 func BenchmarkSessionIngest(b *testing.B) {
 	g, events := benchEvents(b, 8192)
-	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	cfg := service.Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reg := NewRegistry()
+		reg := service.NewRegistry()
 		s, err := reg.Create("b", g, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -66,11 +67,11 @@ func BenchmarkSessionIngest(b *testing.B) {
 func BenchmarkSessionIngestConcurrentReaders(b *testing.B) {
 	const readers = 4
 	g, events := benchEvents(b, 8192)
-	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	cfg := service.Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
 	var queries atomic.Int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reg := NewRegistry()
+		reg := service.NewRegistry()
 		s, err := reg.Create("b", g, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -112,8 +113,8 @@ func BenchmarkSessionIngestConcurrentReaders(b *testing.B) {
 // a fully ingested session, across parallel readers.
 func BenchmarkSessionQuery(b *testing.B) {
 	g, events := benchEvents(b, 8192)
-	reg := NewRegistry()
-	s, err := reg.Create("b", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	reg := service.NewRegistry()
+	s, err := reg.Create("b", g, service.Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -136,8 +137,8 @@ func BenchmarkSessionQuery(b *testing.B) {
 // a fully ingested session.
 func BenchmarkSessionLineage(b *testing.B) {
 	g, events := benchEvents(b, 4096)
-	reg := NewRegistry()
-	s, err := reg.Create("b", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	reg := service.NewRegistry()
+	s, err := reg.Create("b", g, service.Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -158,15 +159,15 @@ func BenchmarkSessionLineage(b *testing.B) {
 func BenchmarkDurableConcurrentSessions(b *testing.B) {
 	const sessions = 4
 	g, events := benchEvents(b, 4096)
-	cfg := Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
+	cfg := service.Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		reg, err := NewDurableRegistry(DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1})
+		reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		ss := make([]*Session, sessions)
+		ss := make([]*service.Session, sessions)
 		for si := range ss {
 			if ss[si], err = reg.Create(string(rune('a'+si)), g, cfg); err != nil {
 				b.Fatal(err)
@@ -176,7 +177,7 @@ func BenchmarkDurableConcurrentSessions(b *testing.B) {
 		var wg sync.WaitGroup
 		for _, s := range ss {
 			wg.Add(1)
-			go func(s *Session) {
+			go func(s *service.Session) {
 				defer wg.Done()
 				for lo := 0; lo < len(events); lo += 256 {
 					hi := min(lo+256, len(events))
@@ -203,17 +204,17 @@ func BenchmarkDurableConcurrentSessions(b *testing.B) {
 
 func benchHTTP(b *testing.B, durable bool) (*client.Client, func() string) {
 	b.Helper()
-	reg := NewRegistry()
+	reg := service.NewRegistry()
 	if durable {
 		// Fsync off, snapshots off: the measured difference is the wire
 		// format and the WAL tee, not the disk.
 		var err error
-		if reg, err = NewDurableRegistry(DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1}); err != nil {
+		if reg, err = service.NewDurableRegistry(service.DurableOptions{Dir: b.TempDir(), SnapshotEvery: -1}); err != nil {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { reg.Close() })
 	}
-	srv := httptest.NewServer(NewHandler(reg))
+	srv := httptest.NewServer(service.NewHandler(reg))
 	b.Cleanup(srv.Close)
 	c := client.New(srv.URL, client.WithRetry(0, 0))
 	n := 0
@@ -234,7 +235,7 @@ func wireEvents(b *testing.B, events []run.Event) []client.Event {
 	b.Helper()
 	wire := make([]client.Event, len(events))
 	for i, ev := range events {
-		wire[i] = ToWire(ev)
+		wire[i] = service.ToWire(ev)
 	}
 	return wire
 }

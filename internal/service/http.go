@@ -38,6 +38,10 @@ import (
 //	GET    /v1/sessions/{name}/wal        ?from=S&wait= — tail the WAL (replication)
 //	GET    /v1/replication/status         replication role and per-session progress
 //	POST   /v1/replication/promote        follower → writable primary
+//	GET    /v1/cluster/map                the cluster placement map (cluster mode)
+//	GET    /v1/cluster/health             node role, WAL seqs, peer probes
+//	POST   /v1/cluster/move               move a session to another node
+//	POST   /v1/cluster/release            owner-side move handoff (internal)
 //
 // The same paths without the /v1 prefix (replication endpoints
 // excepted) are served as deprecated legacy adapters over the
@@ -49,6 +53,13 @@ import (
 // delete, ingest — answer CodeReadOnly with the primary's base URL in
 // the error detail; everything else, including WAL tails (chained
 // replication), keeps working.
+//
+// In cluster mode (Registry.SetClusterHooks) every session route is
+// additionally gated by placement: a session this node does not own is
+// rejected with CodeWrongNode (no local copy) or CodeReadOnly (a moved
+// session's retained copy — writes only) carrying the owner's base URL
+// in the error detail. Without cluster hooks the /v1/cluster routes
+// answer CodeNotClustered.
 //
 // Create accepts either a JSON body (CreateRequest: a built-in spec
 // name or an inline spec XML string) or a raw XML specification with
@@ -121,9 +132,17 @@ func NewHandler(reg *Registry) http.Handler {
 				if rejectFollower(w) {
 					return
 				}
-				if !reg.Delete(r.PathValue("name")) {
-					writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", r.PathValue("name")))
+				name := r.PathValue("name")
+				if clusterReject(reg, w, name, true) {
 					return
+				}
+				if !reg.Delete(name) {
+					writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", name))
+					return
+				}
+				if h := reg.Cluster(); h != nil && h.Forget != nil {
+					// The name is free again; a recreate places by hash.
+					h.Forget(name)
 				}
 				w.WriteHeader(http.StatusNoContent)
 			},
@@ -163,9 +182,64 @@ func NewHandler(reg *Registry) http.Handler {
 				writeJSON(w, http.StatusOK, reg.ReplicationStatus())
 			},
 		}},
+		{"/cluster/map", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if h := clusterHooks(reg, w); h != nil {
+					writeJSON(w, http.StatusOK, h.Map())
+				}
+			},
+		}},
+		{"/cluster/health", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if h := clusterHooks(reg, w); h != nil {
+					writeJSON(w, http.StatusOK, h.Health())
+				}
+			},
+		}},
+		{"/cluster/move", false, map[string]http.HandlerFunc{
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				h := clusterHooks(reg, w)
+				if h == nil {
+					return
+				}
+				var req api.MoveRequest
+				if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+					writeError(w, api.Errorf(api.CodeBadJSON, "bad JSON body: %v", err))
+					return
+				}
+				resp, err := h.Move(r.Context(), req)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, resp)
+			},
+		}},
+		{"/cluster/release", false, map[string]http.HandlerFunc{
+			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
+				h := clusterHooks(reg, w)
+				if h == nil {
+					return
+				}
+				var req api.ReleaseRequest
+				if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+					writeError(w, api.Errorf(api.CodeBadJSON, "bad JSON body: %v", err))
+					return
+				}
+				resp, err := h.Release(r.Context(), req)
+				if err != nil {
+					writeError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, resp)
+			},
+		}},
 		{"/sessions/{name}/events", true, map[string]http.HandlerFunc{
 			http.MethodPost: func(w http.ResponseWriter, r *http.Request) {
 				if rejectFollower(w) {
+					return
+				}
+				if clusterReject(reg, w, r.PathValue("name"), true) {
 					return
 				}
 				if s := lookup(reg, w, r); s != nil {
@@ -236,10 +310,40 @@ func methodDispatch(methods map[string]http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// clusterHooks returns the installed cluster hooks, answering
+// CodeNotClustered when there are none.
+func clusterHooks(reg *Registry, w http.ResponseWriter) *ClusterHooks {
+	h := reg.Cluster()
+	if h == nil {
+		writeError(w, api.Errorf(api.CodeNotClustered, "server is not running in cluster mode"))
+	}
+	return h
+}
+
+// clusterReject gates a session route by cluster placement, reporting
+// whether a routing rejection was written. Not clustered: no gate.
+func clusterReject(reg *Registry, w http.ResponseWriter, session string, write bool) bool {
+	h := reg.Cluster()
+	if h == nil || h.Route == nil {
+		return false
+	}
+	if err := h.Route(session, write); err != nil {
+		writeError(w, err)
+		return true
+	}
+	return false
+}
+
 func lookup(reg *Registry, w http.ResponseWriter, r *http.Request) *Session {
-	s, ok := reg.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	s, ok := reg.Get(name)
 	if !ok {
-		writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", r.PathValue("name")))
+		// An absent session owned by another node is a routing miss, not
+		// a 404 — the rejection names the owner.
+		if clusterReject(reg, w, name, false) {
+			return nil
+		}
+		writeError(w, api.Errorf(api.CodeSessionNotFound, "no session %q", name))
 		return nil
 	}
 	return s
@@ -324,6 +428,9 @@ func createSession(reg *Registry, w http.ResponseWriter, name string, sp *spec.S
 			writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
+	}
+	if clusterReject(reg, w, name, true) {
+		return
 	}
 	cfg, err := ParseConfig(skelName, modeName)
 	if err != nil {

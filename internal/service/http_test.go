@@ -415,3 +415,106 @@ func TestHTTPShardsParameter(t *testing.T) {
 		t.Fatalf("shard counts sum to %d, want %d", sum, len(events))
 	}
 }
+
+// TestListSessionsUnderChurn hammers GET /v1/sessions while other
+// goroutines create and delete sessions as fast as the handler lets
+// them. Every snapshot must be well-formed: no duplicate names, no
+// torn entries (a listed session always carries its full stats), and
+// sessions that are not being churned keep their exact counts in
+// every response.
+func TestListSessionsUnderChurn(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Two anchors with known sizes that every snapshot must report
+	// intact, whatever the churners are doing.
+	g := compileBuiltin(t, "RunningExample")
+	anchors := map[string]int64{"anchor-a": 120, "anchor-b": 60}
+	for name, n := range anchors {
+		if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+			CreateRequest{Name: name, Builtin: "RunningExample"}, nil); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name, code, raw)
+		}
+		events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: int(n), Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := make([]WireEvent, len(events))
+		for i, ev := range events {
+			wire[i] = ToWire(ev)
+		}
+		if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions/"+name+"/events",
+			EventsRequest{Events: wire}, nil); code != http.StatusOK {
+			t.Fatalf("ingest %s: %d %s", name, code, raw)
+		}
+		anchors[name] = int64(len(events))
+	}
+	anchorIDs := make(map[string]string, len(anchors))
+	for name := range anchors {
+		var st Stats
+		doJSON(t, "GET", srv.URL+"/v1/sessions/"+name, nil, &st)
+		anchorIDs[name] = st.ID
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("churn-%d-%d", c, i%5)
+				if code, raw := doJSON(t, "POST", srv.URL+"/v1/sessions",
+					CreateRequest{Name: name, Builtin: "RunningExample"}, nil); code != http.StatusCreated {
+					t.Errorf("churn create %s: %d %s", name, code, raw)
+					return
+				}
+				if code, raw := doJSON(t, "DELETE", srv.URL+"/v1/sessions/"+name, nil, nil); code != http.StatusNoContent {
+					t.Errorf("churn delete %s: %d %s", name, code, raw)
+					return
+				}
+			}
+		}(c)
+	}
+
+	for i := 0; i < 150 && !t.Failed(); i++ {
+		var list ListResponse
+		if code, raw := doJSON(t, "GET", srv.URL+"/v1/sessions", nil, &list); code != http.StatusOK {
+			t.Fatalf("list #%d: %d %s", i, code, raw)
+		}
+		seen := make(map[string]bool, len(list.Sessions))
+		for _, s := range list.Sessions {
+			if seen[s.Name] {
+				t.Fatalf("list #%d: duplicate entry %q", i, s.Name)
+			}
+			seen[s.Name] = true
+			// A torn entry would surface as a zero-value stats blob:
+			// every session, churned or not, has a class, a skeleton
+			// and an identity the moment it is listable.
+			if s.Name == "" || s.Class == "" || s.Skeleton == "" || s.ID == "" {
+				t.Fatalf("list #%d: torn entry %+v", i, s)
+			}
+			if want, ok := anchors[s.Name]; ok {
+				if s.Vertices != want {
+					t.Fatalf("list #%d: %s has %d vertices, want %d", i, s.Name, s.Vertices, want)
+				}
+				// Identity is stable: the churn next door must never
+				// make an untouched session look recreated.
+				if s.ID != anchorIDs[s.Name] {
+					t.Fatalf("list #%d: %s id flipped %q -> %q", i, s.Name, anchorIDs[s.Name], s.ID)
+				}
+			}
+		}
+		for name := range anchors {
+			if !seen[name] {
+				t.Fatalf("list #%d: anchor %q missing", i, name)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

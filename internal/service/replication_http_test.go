@@ -212,8 +212,10 @@ func TestHTTPReplicationStatusAndPromote(t *testing.T) {
 		t.Fatalf("session status = %+v, want WALSeq %d", s, n)
 	}
 
-	code, raw := doJSON(t, "POST", srv.URL+"/v1/replication/promote", nil, nil)
-	if code != http.StatusConflict || !strings.Contains(raw, string(api.CodeNotFollower)) {
+	// Promote is idempotent: on a server that is already writable it
+	// changes nothing and answers the current status.
+	if code, raw := doJSON(t, "POST", srv.URL+"/v1/replication/promote", nil, &status); code != http.StatusOK ||
+		status.Role != api.RolePrimary {
 		t.Fatalf("promote a primary: %d %s", code, raw)
 	}
 
@@ -250,5 +252,39 @@ func TestHTTPSessionSpec(t *testing.T) {
 	}
 	if _, err := spec.Compile(sp); err != nil {
 		t.Fatalf("served spec does not compile: %v", err)
+	}
+}
+
+// TestHTTPPromoteIdempotent checks POST /v1/replication/promote is
+// safe to re-POST: a server that is already writable (never a
+// follower, or promoted by an earlier call) answers 200 with its
+// current status instead of failing the retry — exactly what blind
+// failover tooling needs.
+func TestHTTPPromoteIdempotent(t *testing.T) {
+	// A registry marked follower with no replica hooks: promote flips
+	// it writable; promoting again (and again) stays 200/primary.
+	reg := NewRegistry()
+	reg.SetFollower("http://dead-primary:9999")
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		var st api.ReplicationStatus
+		if code, raw := doJSON(t, "POST", srv.URL+"/v1/replication/promote", nil, &st); code != http.StatusOK {
+			t.Fatalf("promote #%d: %d %s", i+1, code, raw)
+		} else if st.Role != api.RolePrimary {
+			t.Fatalf("promote #%d: role %q, want primary", i+1, st.Role)
+		}
+	}
+	if _, ok := reg.FollowerPrimary(); ok {
+		t.Fatal("registry still in follower mode after promote")
+	}
+
+	// A plain primary that was never a follower: promote is a no-op,
+	// not an error.
+	plain := httptest.NewServer(NewHandler(NewRegistry()))
+	defer plain.Close()
+	var st api.ReplicationStatus
+	if code, raw := doJSON(t, "POST", plain.URL+"/v1/replication/promote", nil, &st); code != http.StatusOK || st.Role != api.RolePrimary {
+		t.Fatalf("promote on plain primary: %d %s (role %q)", code, raw, st.Role)
 	}
 }

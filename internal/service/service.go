@@ -112,6 +112,12 @@ type Session struct {
 	snapBusy   bool           // a snapshot write is in flight
 	snapWG     sync.WaitGroup // tracks the in-flight snapshot goroutine
 	ioErr      error          // first log failure; poisons further ingest
+
+	// sealed, when non-empty, is the base URL of the node this session
+	// moved to (see Seal): ingest is permanently rejected with
+	// CodeReadOnly pointing there, while queries and WAL tails keep
+	// serving the local copy. Guarded by ingestMu.
+	sealed string
 }
 
 // Registry is a concurrent name → session map, optionally backed by a
@@ -140,6 +146,10 @@ type Registry struct {
 	// repl are the replication hooks a follower installs (see
 	// SetReplicationHooks); nil hooks get primary-role defaults.
 	repl atomic.Pointer[ReplicationHooks]
+	// cluster are the hooks a cluster controller installs (see
+	// SetClusterHooks); nil means the server is not clustered and the
+	// /v1/cluster surface answers CodeNotClustered.
+	cluster atomic.Pointer[ClusterHooks]
 }
 
 // ReplicationHooks lets the replica subsystem answer replication
@@ -150,6 +160,31 @@ type ReplicationHooks struct {
 	Status func() api.ReplicationStatus
 	// Promote flips the follower to writable after a final catch-up.
 	Promote func(ctx context.Context) error
+}
+
+// ClusterHooks lets the cluster subsystem (internal/cluster) gate the
+// HTTP surface by session placement and serve the /v1/cluster control
+// plane. The registry stays placement-ignorant: the controller owns
+// the map, the registry just consults it.
+type ClusterHooks struct {
+	// Route decides whether this node serves a request for the session:
+	// nil to serve it, or a typed rejection (CodeWrongNode when the
+	// node has no copy, CodeReadOnly when a moved session left one)
+	// carrying the owner's URL in the detail. write marks mutating
+	// requests; reads against a local copy of a moved session are
+	// served (stale, like a follower's).
+	Route func(session string, write bool) error
+	// Map snapshots the cluster map.
+	Map func() api.ClusterMap
+	// Health builds the cluster health response.
+	Health func() api.ClusterHealth
+	// Move runs (or forwards) a session move.
+	Move func(ctx context.Context, req api.MoveRequest) (api.MoveResponse, error)
+	// Release runs the owner-side move handoff.
+	Release func(ctx context.Context, req api.ReleaseRequest) (api.ReleaseResponse, error)
+	// Forget drops the session's placement override after a delete, so
+	// a recreated session places by hash again.
+	Forget func(session string)
 }
 
 // NewRegistry returns an empty session registry.
@@ -259,6 +294,14 @@ func (r *Registry) FollowerPrimary() (string, bool) {
 // promote callbacks (see ReplicationHooks).
 func (r *Registry) SetReplicationHooks(h ReplicationHooks) { r.repl.Store(&h) }
 
+// SetClusterHooks installs the cluster controller's routing and
+// control-plane callbacks (see ClusterHooks).
+func (r *Registry) SetClusterHooks(h ClusterHooks) { r.cluster.Store(&h) }
+
+// Cluster returns the installed cluster hooks, or nil when the server
+// is not clustered.
+func (r *Registry) Cluster() *ClusterHooks { return r.cluster.Load() }
+
 // ReplicationStatus reports the server's replication state. A
 // follower's installed hook answers with its tail progress; the
 // default is the primary role with every session's committed WAL
@@ -286,11 +329,14 @@ func (r *Registry) ReplicationStatus() api.ReplicationStatus {
 
 // PromoteFollower runs the promote transition: the installed hook
 // (final catch-up, stop tailing, flip writable) when the replica
-// subsystem provided one, otherwise just the registry flip. It is an
-// error on a server that is not a follower.
+// subsystem provided one, otherwise just the registry flip. It is
+// idempotent: on a server that is already writable — never a
+// follower, or promoted earlier — it is a no-op, so failover tooling
+// can re-POST promote until it gets an answer without fearing the
+// retry.
 func (r *Registry) PromoteFollower(ctx context.Context) error {
 	if _, ok := r.FollowerPrimary(); !ok {
-		return api.Errorf(api.CodeNotFollower, "server is not a follower")
+		return nil // already writable: promote is idempotent
 	}
 	if h := r.repl.Load(); h != nil && h.Promote != nil {
 		return h.Promote(ctx)
@@ -389,9 +435,9 @@ func (s *Session) Grammar() *spec.Grammar { return s.g }
 // can reproduce); queries keep working.
 func (s *Session) Append(events []run.Event) (int, error) {
 	s.ingestMu.Lock()
-	if s.ioErr != nil {
+	if err := s.ingestBlockedLocked(); err != nil {
 		s.ingestMu.Unlock()
-		return 0, s.ioErr
+		return 0, err
 	}
 	staged := make([]store.Entry, 0, len(events))
 	applied := len(events)
@@ -419,9 +465,9 @@ func (s *Session) Append(events []run.Event) (int, error) {
 // partial-batch and durability semantics.
 func (s *Session) AppendNamed(events []core.NamedEvent) (int, error) {
 	s.ingestMu.Lock()
-	if s.ioErr != nil {
+	if err := s.ingestBlockedLocked(); err != nil {
 		s.ingestMu.Unlock()
-		return 0, s.ioErr
+		return 0, err
 	}
 	staged := make([]store.Entry, 0, len(events))
 	applied := len(events)
@@ -455,9 +501,9 @@ func (s *Session) AppendRecords(recs []wal.Record, frames [][]byte) (int, error)
 		return 0, fmt.Errorf("service: %d frames for %d records", len(frames), len(recs))
 	}
 	s.ingestMu.Lock()
-	if s.ioErr != nil {
+	if err := s.ingestBlockedLocked(); err != nil {
 		s.ingestMu.Unlock()
-		return 0, s.ioErr
+		return 0, err
 	}
 	staged := make([]store.Entry, 0, len(recs))
 	applied := len(recs)
@@ -493,6 +539,40 @@ func (s *Session) AppendRecords(recs []wal.Record, frames [][]byte) (int, error)
 		staged = append(staged, store.Entry{V: v, Enc: s.store.Encode(l)})
 	}
 	return s.finishLocked(applied, staged, err)
+}
+
+// ingestBlockedLocked reports why ingest cannot proceed: a poisoned
+// log, or a seal left by a completed move. Called with ingestMu held.
+func (s *Session) ingestBlockedLocked() error {
+	if s.ioErr != nil {
+		return s.ioErr
+	}
+	if s.sealed != "" {
+		return api.Errorf(api.CodeReadOnly, "session %q moved to another node", s.name).
+			WithDetail("%s", s.sealed)
+	}
+	return nil
+}
+
+// Seal permanently stops ingest into the session and returns the
+// sequence of the last event it ever appended to its log — the final
+// handoff point of a session move. From the moment Seal returns, every
+// ingest attempt is rejected with CodeReadOnly naming the new owner's
+// base URL, so in-flight clients re-route with the one-hop redirect
+// they already use for followers; queries and WAL tails keep serving
+// the local copy. Taking ingestMu closes the race with in-flight
+// batches: a batch that acquired the lock first is covered by the
+// returned sequence, one that acquires it after is rejected.
+func (s *Session) Seal(newOwnerURL string) int64 {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	s.sealed = newOwnerURL
+	if s.wal != nil {
+		return s.wal.AppendSeq()
+	}
+	// Memory-only: every applied event labels one vertex, so the vertex
+	// count is the stream position.
+	return s.vertices.Load()
 }
 
 // publishStaged appends the batch's encoded labels to the store

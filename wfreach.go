@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"wfreach/internal/api"
+	"wfreach/internal/cluster"
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
 	"wfreach/internal/graph"
@@ -234,6 +235,35 @@ type (
 // from the last applied event across restarts.
 func NewFollower(primary string, reg *Registry, opts FollowerOptions) *Follower {
 	return replica.New(primary, reg, opts)
+}
+
+// Clustering: shard sessions across several primary servers by
+// consistent hashing on the session name (see internal/cluster and
+// the "Cluster" section of ARCHITECTURE.md).
+type (
+	// ClusterMap is the versioned placement map every node and client
+	// of one cluster shares: the static node set plus per-session
+	// move overrides.
+	ClusterMap = api.ClusterMap
+	// ClusterNode is one node entry of a cluster map.
+	ClusterNode = api.ClusterNode
+	// ClusterController runs one node's share of a cluster: placement
+	// gating, the /v1/cluster control plane, peer probing and session
+	// moves.
+	ClusterController = cluster.Controller
+	// ClusterOptions tunes a controller's probing and move batching.
+	ClusterOptions = cluster.Options
+)
+
+// LoadClusterMap reads a cluster map from its JSON config file (the
+// wfserve -cluster flag).
+func LoadClusterMap(path string) (ClusterMap, error) { return cluster.LoadMap(path) }
+
+// NewClusterController builds the cluster controller for the node
+// named self and installs its placement gate on the registry. Call
+// Start on the result to begin probing peers, Close to stop.
+func NewClusterController(self string, m ClusterMap, reg *Registry, opts ClusterOptions) (*ClusterController, error) {
+	return cluster.New(self, m, reg, opts)
 }
 
 // GenerateEvents derives a random run and returns its execution event
