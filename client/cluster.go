@@ -186,10 +186,14 @@ func (cl *Cluster) clientFor(session string) (string, *Client) {
 
 // do routes one logical call: place the session, run f against the
 // owner's client, and on a routing rejection or node failure learn
-// the correction and retry. f may be re-invoked; the rejections that
-// trigger a retry are issued before any part of the request is
-// applied, so replaying is safe even for ingest.
-func (cl *Cluster) do(ctx context.Context, session string, f func(c *Client) error) error {
+// the correction and retry. Routing rejections (wrong_node/read_only)
+// are issued before any part of the request is applied, so re-invoking
+// f after one is safe even for ingest. A transport failure is
+// different: the dead node may have applied the request and lost only
+// the response, so after a successful failover f is re-invoked only
+// when retryable marks it safe to replay (reads; never ingest, whose
+// replay would duplicate the batch on the promoted follower).
+func (cl *Cluster) do(ctx context.Context, session string, retryable bool, f func(c *Client) error) error {
 	var lastErr error
 	for attempt := 0; attempt < clusterRouteAttempts; attempt++ {
 		if attempt > 0 {
@@ -210,7 +214,13 @@ func (cl *Cluster) do(ctx context.Context, session string, f func(c *Client) err
 			continue
 		}
 		if isTransport(err) && cl.failover(ctx, node) {
-			continue
+			if retryable {
+				continue
+			}
+			// The failover healed the client for later calls, but this
+			// one stays ambiguous: surface it instead of guessing.
+			return fmt.Errorf("client: node %s stopped answering mid-request and its follower took over; "+
+				"the request may or may not have been applied — verify before re-sending: %w", node, err)
 		}
 		return err
 	}
@@ -230,8 +240,13 @@ func redirectTarget(err error) (string, bool) {
 
 // isTransport reports whether the error is a transport failure (no
 // structured response at all) — the signature of a dead node, as
-// opposed to a server that answered with an error.
+// opposed to a server that answered with an error. A cancelled or
+// expired context is the caller giving up, not the node dying, and
+// must not trigger a failover.
 func isTransport(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var ae *Error
 	return !errors.As(err, &ae)
 }
@@ -300,7 +315,7 @@ func (cl *Cluster) Move(ctx context.Context, session, target string) (MoveRespon
 // CreateSession opens a session on the node that owns its name.
 func (cl *Cluster) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionStats, error) {
 	var st SessionStats
-	err := cl.do(ctx, req.Name, func(c *Client) error {
+	err := cl.do(ctx, req.Name, false, func(c *Client) error {
 		var cerr error
 		st, cerr = c.CreateSession(ctx, req)
 		return cerr
@@ -311,7 +326,7 @@ func (cl *Cluster) CreateSession(ctx context.Context, req CreateSessionRequest) 
 // Session returns the session's stats from its owner.
 func (cl *Cluster) Session(ctx context.Context, name string) (SessionStats, error) {
 	var st SessionStats
-	err := cl.do(ctx, name, func(c *Client) error {
+	err := cl.do(ctx, name, true, func(c *Client) error {
 		var cerr error
 		st, cerr = c.Session(ctx, name)
 		return cerr
@@ -321,7 +336,7 @@ func (cl *Cluster) Session(ctx context.Context, name string) (SessionStats, erro
 
 // DeleteSession removes the session from its owner.
 func (cl *Cluster) DeleteSession(ctx context.Context, name string) error {
-	return cl.do(ctx, name, func(c *Client) error {
+	return cl.do(ctx, name, false, func(c *Client) error {
 		return c.DeleteSession(ctx, name)
 	})
 }
@@ -364,7 +379,7 @@ func (cl *Cluster) Sessions(ctx context.Context) ([]SessionStats, error) {
 // Applied field reports progress) and is not replayed.
 func (cl *Cluster) Ingest(ctx context.Context, session string, events []Event) (EventsResponse, error) {
 	var resp EventsResponse
-	err := cl.do(ctx, session, func(c *Client) error {
+	err := cl.do(ctx, session, false, func(c *Client) error {
 		var cerr error
 		resp, cerr = c.Ingest(ctx, session, events)
 		return cerr
@@ -384,7 +399,7 @@ func (cl *Cluster) IngestFrames(ctx context.Context, session string, events []Ev
 		}
 	}
 	var resp EventsResponse
-	err = cl.do(ctx, session, func(c *Client) error {
+	err = cl.do(ctx, session, false, func(c *Client) error {
 		var cerr error
 		resp, cerr = c.ingestRaw(ctx, session, buf)
 		return cerr
@@ -395,7 +410,7 @@ func (cl *Cluster) IngestFrames(ctx context.Context, session string, events []Ev
 // ReachBatch answers reachability pairs from the session's owner.
 func (cl *Cluster) ReachBatch(ctx context.Context, session string, pairs []ReachPair) ([]ReachAnswer, error) {
 	var answers []ReachAnswer
-	err := cl.do(ctx, session, func(c *Client) error {
+	err := cl.do(ctx, session, true, func(c *Client) error {
 		var cerr error
 		answers, cerr = c.ReachBatch(ctx, session, pairs)
 		return cerr
@@ -406,7 +421,7 @@ func (cl *Cluster) ReachBatch(ctx context.Context, session string, pairs []Reach
 // Reach asks one reachability pair (see Client.Reach).
 func (cl *Cluster) Reach(ctx context.Context, session string, from, to int32) (bool, error) {
 	var reachable bool
-	err := cl.do(ctx, session, func(c *Client) error {
+	err := cl.do(ctx, session, true, func(c *Client) error {
 		var cerr error
 		reachable, cerr = c.Reach(ctx, session, from, to)
 		return cerr
@@ -418,7 +433,7 @@ func (cl *Cluster) Reach(ctx context.Context, session string, from, to int32) (b
 // session's owner.
 func (cl *Cluster) Lineage(ctx context.Context, session string, of int32) ([]int32, error) {
 	var out []int32
-	err := cl.do(ctx, session, func(c *Client) error {
+	err := cl.do(ctx, session, true, func(c *Client) error {
 		var cerr error
 		out, cerr = c.Lineage(ctx, session, of)
 		return cerr

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -175,6 +176,133 @@ func nodeIndex(name string) int {
 	var i int
 	fmt.Sscanf(name, "n%d", &i)
 	return i
+}
+
+// failoverFixture is a one-node cluster whose node entry names a
+// follower: a second, independent writable server standing in for an
+// already-promoted replica that holds the session with the first batch
+// replicated.
+func failoverFixture(t *testing.T) (primary, follower *service.Registry, kill func(), m client.ClusterMap, wire []client.Event) {
+	t.Helper()
+	newServer := func() (*service.Registry, *httptest.Server) {
+		reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: t.TempDir(), Fsync: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = reg.Close() })
+		srv := httptest.NewServer(service.NewHandler(reg))
+		t.Cleanup(srv.Close)
+		return reg, srv
+	}
+	regA, srvA := newServer()
+	regB, srvB := newServer()
+	m = client.ClusterMap{Version: 1,
+		Nodes: []client.ClusterNode{{Name: "n0", URL: srvA.URL, Follower: srvB.URL}}}
+
+	events, _ := generate(t, "RunningExample", 400, 7)
+	wire = make([]client.Event, len(events))
+	for i, ev := range events {
+		wire[i] = wfreach.ToWire(ev)
+	}
+	g, err := wfreach.Compile(mustBuiltin(t, "RunningExample"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range []*service.Registry{regA, regB} {
+		s, err := reg.Create("moved", g, service.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(events[:200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return regA, regB, srvA.Close, m, wire
+}
+
+func mustBuiltin(t *testing.T, name string) *wfreach.Spec {
+	t.Helper()
+	s, ok := wfreach.BuiltinSpec(name)
+	if !ok {
+		t.Fatalf("no builtin %s", name)
+	}
+	return s
+}
+
+// TestClusterClientIngestNotReplayedOnFailover kills the primary
+// mid-stream: the client must fail the in-flight ingest over to the
+// promoted follower for routing purposes but NOT re-send the batch —
+// the dead node may have applied and replicated it with only the
+// response lost, so a replay would duplicate events. Reads do retry.
+func TestClusterClientIngestNotReplayedOnFailover(t *testing.T) {
+	_, regB, kill, m, wire := failoverFixture(t)
+	cl, err := client.NewCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	kill()
+
+	if _, err := cl.Ingest(ctx, "moved", wire[200:]); err == nil {
+		t.Fatal("ingest into a dead primary reported success")
+	}
+	s, ok := regB.Get("moved")
+	if !ok {
+		t.Fatal("follower lost the session")
+	}
+	if got := s.Vertices(); got != 200 {
+		t.Fatalf("follower has %d events after failed ingest, want 200 (no replay)", got)
+	}
+	// The failover healed the client: reads now serve from the
+	// follower without touching the dead URL.
+	st, err := cl.Session(ctx, "moved")
+	if err != nil || st.Vertices != 200 {
+		t.Fatalf("read after failover: %+v, %v", st, err)
+	}
+}
+
+// TestClusterClientReadRetriesAcrossFailover is the counterpart: a
+// read in flight when the primary dies is replayed on the follower
+// transparently (reads are idempotent).
+func TestClusterClientReadRetriesAcrossFailover(t *testing.T) {
+	_, _, kill, m, _ := failoverFixture(t)
+	cl, err := client.NewCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill()
+	st, err := cl.Session(context.Background(), "moved")
+	if err != nil || st.Vertices != 200 {
+		t.Fatalf("read across failover: %+v, %v", st, err)
+	}
+}
+
+// TestClusterClientCancelIsNotFailover checks a cancelled context is
+// treated as the caller giving up, not as a dead node: the error
+// surfaces as the context's, and the client keeps routing to the
+// (alive) primary afterwards.
+func TestClusterClientCancelIsNotFailover(t *testing.T) {
+	_, _, _, m, wire := failoverFixture(t)
+	cl, err := client.NewCluster(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Make the primary distinguishable from the follower stand-in: it
+	// alone gets events past the replicated prefix.
+	if _, err := cl.Ingest(ctx, "moved", wire[200:250]); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := cl.Session(cancelled, "moved"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("call with cancelled context: %v, want context.Canceled", err)
+	}
+	// Still routed to the primary (alive), not failed over.
+	st, err := cl.Session(ctx, "moved")
+	if err != nil || st.Vertices != 250 {
+		t.Fatalf("read after cancelled call: %+v, %v (want primary's 250 events)", st, err)
+	}
 }
 
 // TestClusterClientRejectsBadMap checks constructor validation.

@@ -33,15 +33,28 @@ type ClusterNode struct {
 }
 
 // ClusterOverride pins one session to a node regardless of its hash
-// placement — the durable record of a completed move.
+// placement — the record of a move, installed at the owner's release.
 type ClusterOverride struct {
-	// Node is the owning node's name.
-	Node string `json:"node"`
+	// Node is the owning node's name. Empty on a tombstone (Deleted).
+	Node string `json:"node,omitempty"`
 	// Version is the map version at which the override was installed.
 	// When two maps disagree about a session, the higher version wins —
 	// a session's overrides are serialized by its successive owners, so
 	// versions along a move chain strictly increase.
 	Version int64 `json:"version"`
+	// From is the name of the node that released the session to Node —
+	// the source an interrupted move resumes its drain from. Empty on
+	// operator-pinned overrides and tombstones.
+	From string `json:"from,omitempty"`
+	// FinalSeq is the source's sealed final WAL sequence at release:
+	// the move is complete only once Node's copy has applied through
+	// it. Zero on operator-pinned overrides and tombstones.
+	FinalSeq int64 `json:"final_seq,omitempty"`
+	// Deleted marks a tombstone: the session was deleted at its owner
+	// and places by hash again. Tombstones gossip like live overrides
+	// (higher version wins), so peers drop their stale entries instead
+	// of re-infecting the deleting node on its next probe.
+	Deleted bool `json:"deleted,omitempty"`
 }
 
 // ClusterMap is the versioned placement map: the node set (static

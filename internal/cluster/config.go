@@ -74,7 +74,7 @@ func ValidateMap(m api.ClusterMap) error {
 		}
 	}
 	for sess, ov := range m.Overrides {
-		if !names[ov.Node] {
+		if !names[ov.Node] && !ov.Deleted {
 			return fmt.Errorf("override for session %q names unknown node %q", sess, ov.Node)
 		}
 	}

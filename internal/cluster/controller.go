@@ -169,10 +169,16 @@ func (c *Controller) Close() {
 // Route is the placement gate (service.ClusterHooks.Route): nil when
 // this node serves the session, a typed rejection naming the owner
 // otherwise. Reads against a retained local copy of a moved session
-// are served — stale, exactly like a follower's.
+// are served — stale, exactly like a follower's. Writes to a session
+// moved here whose drain has not finished are rejected too: accepting
+// one would interleave stray events with the sealed-but-undrained
+// suffix and silently fork the copy from the releasing node's log.
 func (c *Controller) Route(session string, write bool) error {
 	owner := c.state.Place(session)
 	if owner.Name == c.self.Name {
+		if write {
+			return c.undrained(session)
+		}
 		return nil
 	}
 	if _, ok := c.reg.Get(session); ok {
@@ -184,6 +190,26 @@ func (c *Controller) Route(session string, write bool) error {
 	}
 	return api.Errorf(api.CodeWrongNode, "session %q is owned by node %s", session, owner.Name).
 		WithDetail("%s", owner.URL)
+}
+
+// undrained reports why a session the map places here cannot take
+// writes yet: its move recorded a sealed final sequence the local copy
+// has not applied through (the override gossips ahead of the drain).
+// The rejection names this node so a routing client simply retries
+// here with backoff; the prober's resume (or a re-POSTed move) closes
+// the gap within a probe interval. nil once drained — including every
+// session that never moved, where the single override lookup is the
+// only cost.
+func (c *Controller) undrained(session string) error {
+	ov, ok := c.state.OverrideFor(session)
+	if !ok || ov.From == "" || ov.From == c.self.Name || ov.FinalSeq <= 0 {
+		return nil
+	}
+	if s, have := c.reg.Get(session); have && s.Vertices() >= ov.FinalSeq {
+		return nil
+	}
+	return api.Errorf(api.CodeReadOnly, "session %q is still draining its move from node %s; retry shortly", session, ov.From).
+		WithDetail("%s", c.self.URL)
 }
 
 // Map snapshots the node's cluster map.
@@ -229,10 +255,38 @@ func (c *Controller) probeLoop(ctx context.Context) {
 	defer ticker.Stop()
 	for {
 		c.probeOnce(ctx)
+		c.resumeIncomplete(ctx)
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
+		}
+	}
+}
+
+// resumeIncomplete finishes moves to this node that were interrupted
+// after the owner's release — a crashed target, a lost caller: any
+// session the map places here whose copy has not drained to the
+// override's sealed final sequence is completed through the same path
+// a re-POSTed move takes, so the cluster self-heals instead of
+// waiting for an operator retry. Skipped entirely while a move is in
+// flight (TryLock): the running move either is the drain in question
+// or will leave a drained copy behind.
+func (c *Controller) resumeIncomplete(ctx context.Context) {
+	if !c.moveMu.TryLock() {
+		return
+	}
+	defer c.moveMu.Unlock()
+	for sess, ov := range c.state.Map().Overrides {
+		if ov.Deleted || ov.Node != c.self.Name || ov.From == "" || ov.From == c.self.Name || ov.FinalSeq <= 0 {
+			continue
+		}
+		if s, ok := c.reg.Get(sess); ok && s.Vertices() >= ov.FinalSeq {
+			continue
+		}
+		c.logf("cluster: session %q has an interrupted move; resuming its drain", sess)
+		if _, err := c.completeLocal(ctx, sess); err != nil {
+			c.logf("cluster: resume move of %q: %v", sess, err)
 		}
 	}
 }
@@ -309,14 +363,7 @@ func (c *Controller) Move(ctx context.Context, req api.MoveRequest) (api.MoveRes
 func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveResponse, error) {
 	owner := c.state.Place(session)
 	if owner.Name == c.self.Name {
-		s, ok := c.reg.Get(session)
-		if !ok {
-			return api.MoveResponse{}, api.Errorf(api.CodeSessionNotFound, "no session %q anywhere in the cluster", session)
-		}
-		// Idempotent: already here (a re-POSTed move, or a hash-placed
-		// session "moved" home).
-		return api.MoveResponse{Session: session, From: c.self.Name, To: c.self.Name,
-			Events: s.Vertices(), Map: c.state.Map()}, nil
+		return c.completeLocal(ctx, session)
 	}
 	c.logf("cluster: moving session %q from %s to %s", session, owner.Name, c.self.Name)
 
@@ -348,21 +395,8 @@ func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveR
 		return api.MoveResponse{}, fmt.Errorf("cluster: release %q on %s: %w", session, owner.Name, err)
 	}
 
-	// Drain to the sealed final sequence. The last batch's commit may
-	// still be in flight on the owner (the tailer only ships durable
-	// records), so an empty round while still behind just retries.
-	for s.Vertices() < rel.FinalSeq {
-		n, err := c.tailRound(ctx, s, owner.URL, session)
-		if err != nil {
-			return api.MoveResponse{}, fmt.Errorf("cluster: drain %q to seq %d: %w", session, rel.FinalSeq, err)
-		}
-		if n == 0 && s.Vertices() < rel.FinalSeq {
-			select {
-			case <-ctx.Done():
-				return api.MoveResponse{}, ctx.Err()
-			case <-time.After(10 * time.Millisecond):
-			}
-		}
+	if err := c.drain(ctx, s, owner.URL, session, rel.FinalSeq); err != nil {
+		return api.MoveResponse{}, err
 	}
 
 	// Everything is here; adopting the owner's map (override included)
@@ -375,6 +409,82 @@ func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveR
 		Events: s.Vertices(), Map: c.state.Map()}, nil
 }
 
+// completeLocal answers a move whose target the map already places
+// here: a re-POSTed move, a hash-placed session "moved" home — or a
+// move interrupted between the owner's release and the end of the
+// drain. The override installed at release spreads by gossip before
+// the drain finishes, so a retried move can land in this branch while
+// the local copy is still behind the sealed final sequence; the
+// override records the releasing node and that sequence exactly so
+// completion is checkable here. A copy at or past FinalSeq is done;
+// anything else resumes the drain instead of reporting a success that
+// would silently drop the events between the local horizon and the
+// seal.
+func (c *Controller) completeLocal(ctx context.Context, session string) (api.MoveResponse, error) {
+	ov, moved := c.state.OverrideFor(session)
+	resumable := moved && ov.From != "" && ov.From != c.self.Name && ov.FinalSeq > 0
+	s, have := c.reg.Get(session)
+	if have && (!resumable || s.Vertices() >= ov.FinalSeq) {
+		return api.MoveResponse{Session: session, From: c.self.Name, To: c.self.Name,
+			Events: s.Vertices(), Map: c.state.Map()}, nil
+	}
+	if !resumable {
+		return api.MoveResponse{}, api.Errorf(api.CodeSessionNotFound, "no session %q anywhere in the cluster", session)
+	}
+	src, ok := c.state.Map().Node(ov.From)
+	if !ok {
+		return api.MoveResponse{}, api.Errorf(api.CodeUnknown,
+			"session %q was released by node %q, which is not in the map", session, ov.From)
+	}
+	var localSeq int64
+	if have {
+		localSeq = s.Vertices()
+	}
+	c.logf("cluster: resuming interrupted move of %q from %s (have %d, need %d)",
+		session, src.Name, localSeq, ov.FinalSeq)
+	if !have {
+		var pst api.SessionStats
+		if err := c.getJSON(ctx, src.URL, "/v1/sessions/"+url.PathEscape(session), &pst); err != nil {
+			return api.MoveResponse{}, fmt.Errorf("cluster: fetch session %q from %s: %w", session, src.Name, err)
+		}
+		var err error
+		if s, err = c.adopt(ctx, src, pst); err != nil {
+			return api.MoveResponse{}, err
+		}
+	} else {
+		// The behind copy may carry a seal from an interrupted earlier
+		// hop; the map says this node owns the session, so reopen it.
+		s.Unseal()
+	}
+	if err := c.drain(ctx, s, src.URL, session, ov.FinalSeq); err != nil {
+		return api.MoveResponse{}, err
+	}
+	c.logf("cluster: session %q drain resumed and completed (%d events)", session, s.Vertices())
+	return api.MoveResponse{Session: session, From: ov.From, To: c.self.Name,
+		Events: s.Vertices(), Map: c.state.Map()}, nil
+}
+
+// drain tails the source until the local copy has applied through the
+// sealed final sequence. The last batch's commit may still be in
+// flight on the source (the tailer only ships durable records), so an
+// empty round while still behind just retries.
+func (c *Controller) drain(ctx context.Context, s *service.Session, srcURL, session string, finalSeq int64) error {
+	for s.Vertices() < finalSeq {
+		n, err := c.tailRound(ctx, s, srcURL, session)
+		if err != nil {
+			return fmt.Errorf("cluster: drain %q to seq %d: %w", session, finalSeq, err)
+		}
+		if n == 0 && s.Vertices() < finalSeq {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
 // adopt rebuilds (or resumes) the local copy of the owner's session,
 // mirroring what a replica does: fetch the spec, compile, copy the
 // labeling configuration and the identity.
@@ -384,6 +494,11 @@ func (c *Controller) adopt(ctx context.Context, owner api.ClusterNode, pst api.S
 			return nil, api.Errorf(api.CodeSessionExists,
 				"local copy of %q has identity %s, the owner's is %s; delete the local copy first", pst.Name, lid, pst.ID)
 		}
+		// A retained copy was sealed when the session moved away; this
+		// node is taking it back, so reopen ingest for the tailer's
+		// replay. External writes stay rejected by Route until the
+		// drain completes and the map flips here.
+		s.Unseal()
 		return s, nil
 	}
 	raw, err := c.getBytes(ctx, owner.URL, "/v1/sessions/"+url.PathEscape(pst.Name)+"/spec")
@@ -493,8 +608,10 @@ func (c *Controller) Release(_ context.Context, req api.ReleaseRequest) (api.Rel
 	if !ok {
 		return api.ReleaseResponse{}, api.Errorf(api.CodeSessionNotFound, "no session %q", req.Session)
 	}
+	// The override records this node and the sealed sequence so a move
+	// interrupted after this point can verify and resume its drain.
 	final := s.Seal(req.URL)
-	if _, err := c.state.Override(req.Session, req.Node); err != nil {
+	if _, err := c.state.Override(req.Session, req.Node, c.self.Name, final); err != nil {
 		return api.ReleaseResponse{}, api.Errorf(api.CodeBadRequest, "%v", err)
 	}
 	c.logf("cluster: released session %q to %s at seq %d (map v%d)", req.Session, req.Node, final, c.state.Version())

@@ -280,6 +280,163 @@ func TestMoveLive(t *testing.T) {
 	}
 }
 
+// TestMoveBackToFormerOwner moves a session away and back again: the
+// former owner's retained copy was sealed by the first move, so the
+// move-back must reopen it, replay everything the interim owner
+// ingested, and leave the session writable on the original node (and
+// sealed on the other) — not deadlocked with both copies sealed.
+func TestMoveBackToFormerOwner(t *testing.T) {
+	nodes := newCluster(t, 2)
+	sess := sessionOwnedBy(t, nodes[0].ctl, "n0")
+	n0, n1 := byName(t, nodes, "n0"), byName(t, nodes, "n1")
+	s0, events := createWithEvents(t, n0.reg, sess, 600)
+	a, b := len(events)/3, 2*len(events)/3
+	if _, err := s0.Append(events[:a]); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := n1.ctl.Move(ctx, api.MoveRequest{Session: sess, Target: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	s1, ok := n1.reg.Get(sess)
+	if !ok {
+		t.Fatal("no copy on n1 after first move")
+	}
+	// The interim owner ingests the middle third; the move-back must
+	// carry it into n0's retained copy.
+	if _, err := s1.Append(events[a:b]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n0.ctl.Move(ctx, api.MoveRequest{Session: sess, Target: "n0"})
+	if err != nil {
+		t.Fatalf("move back: %v", err)
+	}
+	if resp.From != "n1" || resp.To != "n0" || resp.Events != int64(b) {
+		t.Fatalf("move-back response %+v, want n1→n0 with %d events", resp, b)
+	}
+	for _, nd := range nodes {
+		if got := nd.ctl.State().Place(sess).Name; got != "n0" {
+			t.Errorf("%s places %q on %s after move-back", nd.name, sess, got)
+		}
+	}
+	// The original owner serves writes again; the interim owner's copy
+	// is now the sealed one.
+	if _, err := s0.Append(events[b:]); err != nil {
+		t.Fatalf("append on returned owner: %v", err)
+	}
+	if got := s0.Vertices(); got != int64(len(events)) {
+		t.Fatalf("returned owner has %d events, want %d", got, len(events))
+	}
+	var ae *api.Error
+	if _, err := s1.Append(events[b:b+1]); !errors.As(err, &ae) || ae.Code != api.CodeReadOnly {
+		t.Fatalf("append on interim owner's retained copy: %v, want read_only", err)
+	}
+}
+
+// TestMoveResumesInterruptedDrain simulates a move that died between
+// the owner's release and the end of the drain: the override (with the
+// sealed final sequence) is already installed and gossiping, the
+// target's copy is behind. A retried move must not report success off
+// the behind copy — it must resume the drain to the recorded seal.
+func TestMoveResumesInterruptedDrain(t *testing.T) {
+	nodes := newCluster(t, 2)
+	sess := sessionOwnedBy(t, nodes[0].ctl, "n0")
+	n0, n1 := byName(t, nodes, "n0"), byName(t, nodes, "n1")
+	s0, events := createWithEvents(t, n0.reg, sess, 400)
+	if _, err := s0.Append(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// Half-replicated copy on the target, identity shared — what an
+	// interrupted catch-up leaves behind (labeling is deterministic, so
+	// replaying the prefix builds the identical copy).
+	g := spec.MustCompile(wfspecs.RunningExample())
+	s1, err := n1.reg.Create(sess, g, service.Config{ID: s0.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(events) / 2
+	if _, err := s1.Append(events[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owner released (seal + override), then the target crashed
+	// before draining; the override still reaches the target by gossip.
+	ctx := context.Background()
+	rel, err := n0.ctl.Release(ctx, api.ReleaseRequest{Session: sess, Node: "n1", URL: n1.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.FinalSeq != int64(len(events)) {
+		t.Fatalf("release sealed at %d, want %d", rel.FinalSeq, len(events))
+	}
+	if _, err := n1.ctl.State().Merge(rel.Map); err != nil {
+		t.Fatal(err)
+	}
+
+	// While behind the seal the target must not accept writes — a
+	// stray batch would interleave with the undrained suffix and fork
+	// the copy from the owner's log.
+	var ae *api.Error
+	if err := n1.ctl.Route(sess, true); !errors.As(err, &ae) || ae.Code != api.CodeReadOnly {
+		t.Fatalf("write route to behind copy: %v, want read_only", err)
+	}
+	if err := n1.ctl.Route(sess, false); err != nil {
+		t.Fatalf("read route to behind copy: %v, want served", err)
+	}
+
+	// The retried move lands in the "already placed here" branch and
+	// must finish the drain rather than trust the behind copy.
+	resp, err := n1.ctl.Move(ctx, api.MoveRequest{Session: sess, Target: "n1"})
+	if err != nil {
+		t.Fatalf("resumed move: %v", err)
+	}
+	if resp.Events != int64(len(events)) || s1.Vertices() != int64(len(events)) {
+		t.Fatalf("resumed move drained to %d (response %d), want %d", s1.Vertices(), resp.Events, len(events))
+	}
+	if err := n1.ctl.Route(sess, true); err != nil {
+		t.Fatalf("write route after drain: %v, want served", err)
+	}
+
+	// Same interruption with no local copy at all (crash before the
+	// durable adopt): this time nobody retries the move — the target's
+	// own prober must notice and resume the drain.
+	sess2 := ""
+	for i := 0; ; i++ {
+		s := fmt.Sprintf("other-%d", i)
+		if nodes[0].ctl.State().Place(s).Name == "n0" && s != sess {
+			sess2 = s
+			break
+		}
+	}
+	s2, events2 := createWithEvents(t, n0.reg, sess2, 200)
+	if _, err := s2.Append(events2); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := n0.ctl.Release(ctx, api.ReleaseRequest{Session: sess2, Node: "n1", URL: n1.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.ctl.State().Merge(rel2.Map); err != nil {
+		t.Fatal(err)
+	}
+	n1.ctl.Start()
+	defer n1.ctl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s2b, ok := n1.reg.Get(sess2); ok && s2b.Vertices() == int64(len(events2)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never resumed the interrupted move")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := n1.ctl.Route(sess2, true); err != nil {
+		t.Fatalf("write route after prober-resumed drain: %v, want served", err)
+	}
+}
+
 // TestMoveForwarded checks POSTing a move to a non-target node
 // forwards it to the target, and the forwarder adopts the new map.
 func TestMoveForwarded(t *testing.T) {

@@ -89,17 +89,23 @@ func TestStateOverridePrecedence(t *testing.T) {
 	if home == "a" {
 		away = "b"
 	}
-	ov, err := st.Override("s1", away)
+	ov, err := st.Override("s1", away, home, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ov.Version <= 3 {
 		t.Fatalf("override version %d did not rise past the map's", ov.Version)
 	}
+	if ov.From != home || ov.FinalSeq != 42 {
+		t.Fatalf("override lost its drain record: %+v", ov)
+	}
 	if got := st.Place("s1").Name; got != away {
 		t.Fatalf("after override placed on %s, want %s", got, away)
 	}
-	if _, err := st.Override("s1", "nope"); err == nil {
+	if got, ok := st.OverrideFor("s1"); !ok || got != ov {
+		t.Fatalf("OverrideFor = %+v, %v; want %+v", got, ok, ov)
+	}
+	if _, err := st.Override("s1", "nope", "", 0); err == nil {
 		t.Error("override naming unknown node accepted")
 	}
 	v := st.Version()
@@ -110,9 +116,43 @@ func TestStateOverridePrecedence(t *testing.T) {
 	if st.Version() <= v {
 		t.Error("drop did not bump the version")
 	}
+	if _, ok := st.OverrideFor("s1"); ok {
+		t.Error("OverrideFor reports a dropped override")
+	}
+	dropV := st.Version()
 	st.DropOverride("s1") // no-op drop must not bump again
-	if st.Version() != v+1 {
-		t.Errorf("idempotent drop changed version to %d, want %d", st.Version(), v+1)
+	if st.Version() != dropV {
+		t.Errorf("idempotent drop changed version to %d, want %d", st.Version(), dropV)
+	}
+	// The drop leaves a versioned tombstone, so it propagates: a peer
+	// still gossiping the retired override must not re-infect us...
+	stale := api.ClusterMap{Version: ov.Version, Nodes: threeNodes(),
+		Overrides: map[string]api.ClusterOverride{"s1": ov}}
+	if _, err := st.Merge(stale); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Place("s1").Name; got != home {
+		t.Fatalf("stale peer override resurrected the drop: s1 on %s, want %s", got, home)
+	}
+	// ...and the wire map carries the tombstone to peers, beating their
+	// stale live override.
+	wire := st.Map()
+	ts, ok := wire.Overrides["s1"]
+	if !ok || !ts.Deleted || ts.Version <= ov.Version {
+		t.Fatalf("wire map tombstone %+v (present %v), want deleted with version > %d", ts, ok, ov.Version)
+	}
+	peer, err := NewState(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.Place("s1").Name != away {
+		t.Fatal("peer fixture does not hold the stale override — test is vacuous")
+	}
+	if _, err := peer.Merge(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.Place("s1").Name; got != home {
+		t.Fatalf("tombstone did not clear the peer's override: s1 on %s, want %s", got, home)
 	}
 }
 

@@ -27,7 +27,7 @@ func NewState(m api.ClusterMap) (*State, error) {
 	}
 	st := &State{ring: ring, version: m.Version, overrides: make(map[string]api.ClusterOverride)}
 	for sess, ov := range m.Overrides {
-		if _, ok := st.node(ov.Node); !ok {
+		if _, ok := st.node(ov.Node); !ok && !ov.Deleted {
 			return nil, fmt.Errorf("cluster: override for session %q names unknown node %q", sess, ov.Node)
 		}
 		st.overrides[sess] = ov
@@ -49,12 +49,12 @@ func (s *State) Version() int64 {
 }
 
 // Place returns the node owning the session: its override if one is
-// installed, else its hash placement.
+// installed (tombstones don't count), else its hash placement.
 func (s *State) Place(session string) api.ClusterNode {
 	s.mu.RLock()
 	ov, ok := s.overrides[session]
 	s.mu.RUnlock()
-	if ok {
+	if ok && !ov.Deleted {
 		if n, found := s.node(ov.Node); found {
 			return n
 		}
@@ -62,11 +62,26 @@ func (s *State) Place(session string) api.ClusterNode {
 	return s.ring.Place(session)
 }
 
+// OverrideFor returns the session's live placement override, if one is
+// installed; tombstones report false.
+func (s *State) OverrideFor(session string) (api.ClusterOverride, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ov, ok := s.overrides[session]
+	if !ok || ov.Deleted {
+		return api.ClusterOverride{}, false
+	}
+	return ov, true
+}
+
 // Override installs (or replaces) the session's placement override and
 // bumps the map version past both the current version and the
-// override's. It returns the installed override — the caller gossips
-// it by answering with the new map. Unknown node names are an error.
-func (s *State) Override(session, node string) (api.ClusterOverride, error) {
+// override's (a tombstone's included, so a re-created session's next
+// move beats its old removal). It returns the installed override — the
+// caller gossips it by answering with the new map. from names the
+// releasing node and finalSeq its sealed final WAL sequence; both may
+// be zero for operator pins. Unknown node names are an error.
+func (s *State) Override(session, node, from string, finalSeq int64) (api.ClusterOverride, error) {
 	if _, ok := s.node(node); !ok {
 		return api.ClusterOverride{}, fmt.Errorf("cluster: unknown node %q", node)
 	}
@@ -76,27 +91,36 @@ func (s *State) Override(session, node string) (api.ClusterOverride, error) {
 	if old, ok := s.overrides[session]; ok && old.Version >= s.version {
 		s.version = old.Version + 1
 	}
-	ov := api.ClusterOverride{Node: node, Version: s.version}
+	ov := api.ClusterOverride{Node: node, Version: s.version, From: from, FinalSeq: finalSeq}
 	s.overrides[session] = ov
 	return ov, nil
 }
 
-// DropOverride removes the session's override (a deleted session's
-// placement reverts to the ring). The map version is bumped so peers
-// notice the change; the removal itself does not gossip (a peer's
-// stale override merely costs the next request a redirect).
+// DropOverride retires the session's override (a deleted session's
+// placement reverts to the ring) by replacing it with a versioned
+// tombstone rather than deleting the key: Merge can then tell "removed
+// at version V" from "never heard of it", so the removal gossips and a
+// peer's stale override cannot re-infect this node on its next probe.
+// Tombstones are retained for the process lifetime — one small entry
+// per deleted moved session.
 func (s *State) DropOverride(session string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.overrides[session]; ok {
-		delete(s.overrides, session)
-		s.version++
+	old, ok := s.overrides[session]
+	if !ok || old.Deleted {
+		return
 	}
+	s.version++
+	if old.Version >= s.version {
+		s.version = old.Version + 1
+	}
+	s.overrides[session] = api.ClusterOverride{Deleted: true, Version: s.version}
 }
 
 // Merge folds a peer's map into this one: per session, the override
 // with the higher version wins (a session's overrides are serialized
-// by its successive owners, so the higher version is the newer fact);
+// by its successive owners, so the higher version is the newer fact —
+// tombstones compete in the same order, which is how removals spread);
 // the version rises to the maximum seen. It reports whether anything
 // changed. Node sets are static in this release and must match; a
 // mismatched node is an error.
@@ -108,7 +132,7 @@ func (s *State) Merge(m api.ClusterMap) (bool, error) {
 		}
 	}
 	for sess, ov := range m.Overrides {
-		if _, ok := s.node(ov.Node); !ok {
+		if _, ok := s.node(ov.Node); !ok && !ov.Deleted {
 			return false, fmt.Errorf("cluster: peer override for %q names unknown node %q", sess, ov.Node)
 		}
 	}

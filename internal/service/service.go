@@ -575,6 +575,18 @@ func (s *Session) Seal(newOwnerURL string) int64 {
 	return s.vertices.Load()
 }
 
+// Unseal reopens ingest into a session Seal closed — the move-back
+// path: a node re-adopting a retained copy of a session it once
+// released must accept the tailer's replay again (and, once the map
+// flips back to it, client writes). The cluster layer keeps external
+// writes routed away until the drain completes, so unsealing early is
+// safe.
+func (s *Session) Unseal() {
+	s.ingestMu.Lock()
+	s.sealed = ""
+	s.ingestMu.Unlock()
+}
+
 // publishStaged appends the batch's encoded labels to the store
 // shard-grouped and publishes them — the single point where a batch
 // becomes visible to the lock-free query path. Called with ingestMu
