@@ -10,6 +10,9 @@ import (
 
 func buildBench(t *testing.T) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and drives the wfbench binary; skipped in -short")
+	}
 	bin := filepath.Join(t.TempDir(), "wfbench")
 	cmd := exec.Command("go", "build", "-o", bin, ".")
 	cmd.Env = os.Environ()

@@ -12,6 +12,9 @@ import (
 
 func buildGen(t *testing.T) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and drives the wfgen binary; skipped in -short")
+	}
 	bin := filepath.Join(t.TempDir(), "wfgen")
 	cmd := exec.Command("go", "build", "-o", bin, ".")
 	cmd.Env = os.Environ()

@@ -14,6 +14,9 @@ import (
 // buildOnce compiles the binary under test.
 func buildOnce(t *testing.T) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and drives the wflabel binary; skipped in -short")
+	}
 	bin := filepath.Join(t.TempDir(), "wflabel")
 	cmd := exec.Command("go", "build", "-o", bin, ".")
 	cmd.Env = os.Environ()

@@ -7,12 +7,26 @@
 //
 // Usage:
 //
+//	wfload -matrix profiles/quick.json -report out.json
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 10000 -sessions 4 -batch 128 -readers 4
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -verify -reach-batch 16
 //	wfload -addr http://127.0.0.1:8080 -spec BioAID -size 2000 -resume
 //	wfload -addr http://127.0.0.1:8080 -legacy -verify -cleanup
 //	wfload -addr http://127.0.0.1:8080 -replica http://127.0.0.1:8081 -verify
 //	wfload -cluster cluster.json -sessions 12 -verify -move load-3=b
+//
+// -matrix switches wfload into scenario-matrix mode: the JSON file
+// declares workloads (built-in grammars or the LLM-agent adversarial
+// generator), topologies (single, replica, cluster3 — all launched
+// in-process), transports, session counts and read/write mixes; the
+// harness expands the cross product, drives every scenario through
+// the client SDK, and gates each on its SLO assertions (p99 latency
+// ceilings, a throughput floor, a replica-lag ceiling, zero verify
+// mismatches). Any violated gate — or a declared soak that fails —
+// exits non-zero. -report writes the machine-readable per-scenario
+// report. All other workload flags are ignored in matrix mode; see
+// profiles/ for ready-made matrices and docs/BENCHMARKS.md for the
+// schema.
 //
 // -cluster drives a session-partitioned cluster instead of a single
 // server: the same JSON map file the wfserve nodes load tells the
@@ -89,6 +103,7 @@ import (
 
 	"wfreach"
 	"wfreach/client"
+	"wfreach/internal/loadmatrix"
 )
 
 type config struct {
@@ -114,6 +129,8 @@ type config struct {
 	jsonPath     string
 	cpuProfile   string
 	memProfile   string
+	matrix       string
+	reportPath   string
 }
 
 func main() {
@@ -140,12 +157,63 @@ func main() {
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a machine-readable result report to this path")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the load generator to this path")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile of the load generator to this path")
+	flag.StringVar(&cfg.matrix, "matrix", "", "run the scenario-matrix harness on this spec file (in-process topologies, SLO gates)")
+	flag.StringVar(&cfg.reportPath, "report", "", "with -matrix: write the machine-readable report to this path")
 	flag.Parse()
 
+	if cfg.matrix != "" {
+		if err := runMatrix(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runMatrix is -matrix mode: expand the matrix, drive every scenario
+// against its in-process topology, gate on the SLOs, and exit
+// non-zero on any violation.
+func runMatrix(cfg config, out io.Writer) error {
+	m, err := loadmatrix.ParseFile(cfg.matrix)
+	if err != nil {
+		return err
+	}
+	rep, err := loadmatrix.Run(context.Background(), m, loadmatrix.RunOptions{Out: out})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "matrix %s: %d/%d scenarios passed in %.1fs\n",
+		rep.Name, rep.Passed, rep.Passed+rep.Failed, rep.ElapsedSec)
+	if rep.Soak != nil {
+		s := rep.Soak
+		verdict := "passed"
+		if !s.Pass {
+			verdict = "FAILED"
+		}
+		fmt.Fprintf(out, "soak %s: %d live sessions over %.0fs, %d events (%.0f events/sec), %d queries — %s\n",
+			s.Workload, s.LiveSessions, s.DurationSec, s.IngestEvents, s.EventsPerSec, s.Queries, verdict)
+	}
+	if cfg.reportPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.reportPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write -report: %w", err)
+		}
+		fmt.Fprintf(out, "report written to %s\n", cfg.reportPath)
+	}
+	if !rep.Pass {
+		if rep.Failed > 0 {
+			return fmt.Errorf("%d scenario(s) violated their SLOs", rep.Failed)
+		}
+		return fmt.Errorf("the soak violated its SLOs")
+	}
+	return nil
 }
 
 // latencies collects durations for percentile reporting.

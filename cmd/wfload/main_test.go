@@ -126,6 +126,9 @@ func TestRunUnreachableServer(t *testing.T) {
 }
 
 func TestWfloadBinaryBuildsAndFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the wfload binary; skipped in -short")
+	}
 	bin := filepath.Join(t.TempDir(), "wfload")
 	cmd := exec.Command("go", "build", "-o", bin, ".")
 	cmd.Env = os.Environ()

@@ -22,6 +22,9 @@ import (
 
 func buildOnce(t *testing.T) string {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and drives the wfserve binary; skipped in -short")
+	}
 	bin := filepath.Join(t.TempDir(), "wfserve")
 	cmd := exec.Command("go", "build", "-o", bin, ".")
 	cmd.Env = os.Environ()

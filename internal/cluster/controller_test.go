@@ -212,7 +212,12 @@ func TestMoveLive(t *testing.T) {
 		accepted <- n
 	}()
 
-	time.Sleep(20 * time.Millisecond) // let some batches land first
+	// Wait until a few batches have landed so the move genuinely
+	// overlaps live writes.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Vertices() < 200 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	resp, err := target.ctl.Move(ctx, api.MoveRequest{Session: sess, Target: "n1"})
@@ -328,7 +333,7 @@ func TestMoveBackToFormerOwner(t *testing.T) {
 		t.Fatalf("returned owner has %d events, want %d", got, len(events))
 	}
 	var ae *api.Error
-	if _, err := s1.Append(events[b:b+1]); !errors.As(err, &ae) || ae.Code != api.CodeReadOnly {
+	if _, err := s1.Append(events[b : b+1]); !errors.As(err, &ae) || ae.Code != api.CodeReadOnly {
 		t.Fatalf("append on interim owner's retained copy: %v, want read_only", err)
 	}
 }

@@ -1,0 +1,60 @@
+package loadmatrix
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec asserts the matrix parser's contract on arbitrary
+// input: it never panics, every rejection is a typed *SpecError, and
+// anything it accepts expands without panicking into scenarios whose
+// bound values are the validated ones.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(validMatrix))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"workloads": [{"name": "w", "kind": "agent"}], "topologies": ["single"], "transports": ["json"], "sessions": [1]}`))
+	f.Add([]byte(`{"workloads": [{"name": "w", "kind": "grammar", "spec": "Path"}], "soak": {"workload": "w", "sessions": 3, "duration_sec": 1}}`))
+	f.Add([]byte(`{"workloads": [{"name": "w", "kind": "agent", "depth": -1}]}`))
+	f.Add([]byte(`{"workloads": [{"name": "w", "kind": "agent", "size": 999999999999}]}`))
+	f.Add([]byte("{\"name\": \"\xff\"}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection is %T, want *SpecError: %v", err, err)
+			}
+			if se.Path == "" || se.Msg == "" {
+				t.Fatalf("rejection with empty path/msg: %+v", se)
+			}
+			return
+		}
+		// Accepted: the invariants the runner depends on must hold.
+		for _, sc := range m.Expand() {
+			if sc.Name == "" {
+				t.Fatal("expanded scenario without a name")
+			}
+			if sc.Workload.Kind != "grammar" && sc.Workload.Kind != "agent" {
+				t.Fatalf("accepted workload kind %q", sc.Workload.Kind)
+			}
+			if sc.Workload.Size < 1 || sc.Workload.Size > maxWorkloadSize {
+				t.Fatalf("accepted size %d", sc.Workload.Size)
+			}
+			if !validTopology(sc.Topology) || !validTransport(sc.Transport) {
+				t.Fatalf("accepted topology/transport %q/%q", sc.Topology, sc.Transport)
+			}
+			if sc.Sessions < 1 || sc.Batch < 1 {
+				t.Fatalf("accepted sessions %d / batch %d", sc.Sessions, sc.Batch)
+			}
+		}
+		if s := m.Soak; s != nil {
+			if s.Sessions < 1 || s.DurationSec < 1 || s.Workers < 1 || s.SampleEverySec < 1 {
+				t.Fatalf("accepted soak %+v", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package loadmatrix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistBucketsAreMonotone(t *testing.T) {
+	// Every nanosecond value maps into a bucket whose range contains
+	// it, and bucket indexes never decrease as values grow.
+	prev := -1
+	for _, ns := range []int64{0, 1, 15, 16, 17, 31, 32, 63, 64, 1000, 4095, 4096,
+		1e6, 1e9, 1e12, 1 << 40, 1 << 55, 1<<62 - 1} {
+		idx := bucketOf(ns)
+		if idx < prev {
+			t.Fatalf("bucket index regressed at %d: %d < %d", ns, idx, prev)
+		}
+		if hi := bucketMax(idx); ns > hi {
+			t.Fatalf("value %d above its bucket's max %d (bucket %d)", ns, hi, idx)
+		}
+		prev = idx
+	}
+}
+
+func TestHistQuantilesBoundError(t *testing.T) {
+	// Against a sorted reference, histogram quantiles must err high by
+	// at most one sub-bucket (1/16) and never err low below the exact
+	// sample quantile.
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	samples := make([]int64, 20000)
+	for i := range samples {
+		ns := int64(1) << (4 + rng.Intn(24))
+		ns += rng.Int63n(ns)
+		samples[i] = ns
+		h.Add(time.Duration(ns))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+		exact := samples[int(p*float64(len(samples)-1))]
+		got := h.Quantile(p).Nanoseconds()
+		if got < exact {
+			t.Fatalf("q%.2f = %d below the exact %d — a flattering histogram", p, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/16)+1 {
+			t.Fatalf("q%.2f = %d more than a sub-bucket above the exact %d", p, got, exact)
+		}
+	}
+	if h.N() != int64(len(samples)) {
+		t.Fatalf("N = %d, want %d", h.N(), len(samples))
+	}
+}
+
+func TestHistEmptyAndExtremes(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram has a nonzero quantile")
+	}
+	h.Add(0)
+	h.Add(time.Duration(1<<62 - 1))
+	h.Add(-time.Second) // clock weirdness must not panic or corrupt
+	if got := h.Quantile(1); got != time.Duration(1<<62-1) {
+		t.Fatalf("max quantile %d", got)
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}

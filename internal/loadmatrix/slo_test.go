@@ -1,0 +1,102 @@
+package loadmatrix
+
+import (
+	"math"
+	"testing"
+)
+
+// healthy is a measurement set that passes the gates it is paired
+// with; cases mutate it.
+func healthy() Metrics {
+	return Metrics{
+		ElapsedSec:   1,
+		IngestEvents: 10000, EventsPerSec: 10000,
+		IngestP50US: 100, IngestP95US: 300, IngestP99US: 500,
+		Queries: 4000, QueriesPerSec: 4000,
+		QueryP50US: 20, QueryP95US: 60, QueryP99US: 90,
+		VerifyChecked: true,
+		HasReplica:    true, ReplicaLagSamples: 40, ReplicaLagMaxEvents: 1200,
+	}
+}
+
+func TestEvaluateTable(t *testing.T) {
+	slo := SLO{P99IngestUS: 500, P99QueryUS: 90, MinEventsPerSec: 10000, MaxReplicaLagEvents: 1200}
+	cases := []struct {
+		name    string
+		slo     SLO
+		mutate  func(*Metrics)
+		metrics []string // violated metrics, in order
+	}{
+		{"all-gates-healthy", slo, func(m *Metrics) {}, nil},
+		// A measurement exactly at its limit passes — an SLO is a
+		// ceiling (or floor), not an open bound. healthy() sits exactly
+		// at every gate already; these pin each boundary individually.
+		{"exactly-at-ingest-p99", slo, func(m *Metrics) { m.IngestP99US = 500 }, nil},
+		{"one-over-ingest-p99", slo, func(m *Metrics) { m.IngestP99US = 501 }, []string{"p99_ingest_us"}},
+		{"exactly-at-throughput-floor", slo, func(m *Metrics) { m.EventsPerSec = 10000 }, nil},
+		{"one-under-throughput-floor", slo, func(m *Metrics) { m.EventsPerSec = 9999.5 }, []string{"min_events_per_sec"}},
+		{"exactly-at-lag", slo, func(m *Metrics) { m.ReplicaLagMaxEvents = 1200 }, nil},
+		{"one-over-lag", slo, func(m *Metrics) { m.ReplicaLagMaxEvents = 1201 }, []string{"max_replica_lag_events"}},
+		{"one-over-query-p99", slo, func(m *Metrics) { m.QueryP99US = 90.5 }, []string{"p99_query_us"}},
+
+		// A gated metric that measured nothing fails loudly — zero
+		// samples must never read as "fast".
+		{"no-ingest-samples", slo, func(m *Metrics) {
+			m.IngestEvents, m.EventsPerSec, m.IngestP99US = 0, 0, 0
+		}, []string{"p99_ingest_us", "min_events_per_sec"}},
+		{"no-query-samples", slo, func(m *Metrics) { m.Queries, m.QueryP99US = 0, 0 }, []string{"p99_query_us"}},
+		{"no-lag-samples", slo, func(m *Metrics) { m.ReplicaLagSamples, m.ReplicaLagMaxEvents = 0, 0 }, []string{"max_replica_lag_events"}},
+
+		// NaN/Inf measurements fail loudly instead of comparing as
+		// false and sliding through.
+		{"nan-p99", slo, func(m *Metrics) { m.IngestP99US = math.NaN() }, []string{"p99_ingest_us"}},
+		{"inf-throughput", slo, func(m *Metrics) { m.EventsPerSec = math.Inf(1) }, []string{"min_events_per_sec"}},
+		{"nan-throughput", slo, func(m *Metrics) { m.EventsPerSec = math.NaN() }, []string{"min_events_per_sec"}},
+
+		// The lag gate only applies to topologies that have a replica.
+		{"lag-gate-without-replica", slo, func(m *Metrics) {
+			m.HasReplica, m.ReplicaLagSamples, m.ReplicaLagMaxEvents = false, 0, 0
+		}, nil},
+
+		// Verification mismatches always violate when verification ran,
+		// with or without gates.
+		{"verify-mismatch", SLO{}, func(m *Metrics) { m.VerifyMismatches = 3 }, []string{"verify_mismatches"}},
+		{"mismatch-without-verify", SLO{}, func(m *Metrics) {
+			m.VerifyChecked, m.VerifyMismatches = false, 0
+		}, nil},
+
+		// Ungated metrics never violate, whatever they measure.
+		{"ungated", SLO{}, func(m *Metrics) {
+			m.IngestP99US, m.EventsPerSec, m.ReplicaLagMaxEvents = 1e12, 0.001, 1e15
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := healthy()
+			tc.mutate(&m)
+			vs := Evaluate(tc.slo, m)
+			if len(vs) != len(tc.metrics) {
+				t.Fatalf("got %d violations %+v, want metrics %v", len(vs), vs, tc.metrics)
+			}
+			for i, v := range vs {
+				if v.Metric != tc.metrics[i] {
+					t.Fatalf("violation %d is %q, want %q (%+v)", i, v.Metric, tc.metrics[i], vs)
+				}
+				if v.Reason == "" {
+					t.Fatalf("violation %q has no reason", v.Metric)
+				}
+			}
+		})
+	}
+}
+
+// TestSLOMerge pins the override semantics: non-zero fields replace,
+// zero fields inherit.
+func TestSLOMerge(t *testing.T) {
+	base := SLO{P99IngestUS: 100, MinEventsPerSec: 50}
+	got := base.merge(SLO{P99IngestUS: 200, MaxReplicaLagEvents: 7})
+	want := SLO{P99IngestUS: 200, MinEventsPerSec: 50, MaxReplicaLagEvents: 7}
+	if got != want {
+		t.Fatalf("merge = %+v, want %+v", got, want)
+	}
+}

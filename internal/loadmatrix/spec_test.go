@@ -1,0 +1,172 @@
+package loadmatrix
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validMatrix is a fully-populated spec the error tests mutate.
+const validMatrix = `{
+  "name": "t",
+  "defaults": {"batch": 64, "verify": true, "seed": 3},
+  "workloads": [
+    {"name": "bio", "kind": "grammar", "spec": "BioAID", "size": 500},
+    {"name": "agent", "kind": "agent", "size": 400, "depth": 4, "fanout": 6, "retries": 2}
+  ],
+  "topologies": ["single", "replica"],
+  "transports": ["binary", "json"],
+  "sessions": [2, 4],
+  "mixes": [{"name": "rw", "readers": 2, "reach_batch": 8, "lineage_every": 16}],
+  "slo": {"p99_ingest_us": 500000, "min_events_per_sec": 100},
+  "overrides": [
+    {"topology": "replica", "slo": {"max_replica_lag_events": 100000}},
+    {"workload": "agent", "sessions": 4, "slo": {"p99_ingest_us": 900000}}
+  ]
+}`
+
+func TestParseValidMatrix(t *testing.T) {
+	m, err := Parse([]byte(validMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 2*2*2*2 {
+		t.Fatalf("expanded %d scenarios, want 16", len(scenarios))
+	}
+	names := map[string]bool{}
+	for _, sc := range scenarios {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Batch != 64 || !sc.Verify || sc.Seed != 3 {
+			t.Fatalf("defaults not applied to %q: %+v", sc.Name, sc)
+		}
+		// Base SLO everywhere; replica override adds the lag gate only
+		// on replica topologies.
+		if sc.SLO.MinEventsPerSec != 100 {
+			t.Fatalf("%q lost the base SLO: %+v", sc.Name, sc.SLO)
+		}
+		wantLag := int64(0)
+		if sc.Topology == "replica" {
+			wantLag = 100000
+		}
+		if sc.SLO.MaxReplicaLagEvents != wantLag {
+			t.Fatalf("%q lag gate = %d, want %d", sc.Name, sc.SLO.MaxReplicaLagEvents, wantLag)
+		}
+		wantIngest := int64(500000)
+		if sc.Workload.Name == "agent" && sc.Sessions == 4 {
+			wantIngest = 900000
+		}
+		if sc.SLO.P99IngestUS != wantIngest {
+			t.Fatalf("%q ingest gate = %d, want %d", sc.Name, sc.SLO.P99IngestUS, wantIngest)
+		}
+	}
+	if !names["bio/single/binary/s2/rw"] {
+		t.Fatalf("expected scenario name missing; have %v", names)
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	m, err := Parse([]byte(`{
+	  "workloads": [{"name": "w", "kind": "grammar", "spec": "Path"}],
+	  "topologies": ["single"], "transports": ["binary"], "sessions": [1]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Defaults.Batch != 128 || m.Defaults.Seed != 1 {
+		t.Fatalf("defaults %+v", m.Defaults)
+	}
+	if m.Workloads[0].Size != 2000 {
+		t.Fatalf("workload size default %d", m.Workloads[0].Size)
+	}
+	if len(m.Mixes) != 1 || m.Mixes[0].Name != "default" || m.Mixes[0].ReachBatch != 8 {
+		t.Fatalf("default mix %+v", m.Mixes)
+	}
+}
+
+func TestParseSoakOnlyMatrix(t *testing.T) {
+	m, err := Parse([]byte(`{
+	  "workloads": [{"name": "agent", "kind": "agent", "size": 300}],
+	  "slo": {"min_events_per_sec": 10},
+	  "soak": {"workload": "agent", "sessions": 50, "duration_sec": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Expand()) != 0 {
+		t.Fatal("soak-only matrix expanded scenarios")
+	}
+	if m.Soak.Topology != "single" || m.Soak.SampleEverySec != 5 || m.Soak.Workers != 8 || m.Soak.Readers != 2 {
+		t.Fatalf("soak defaults %+v", m.Soak)
+	}
+}
+
+// mutate returns validMatrix with one substring replaced.
+func mutate(t *testing.T, old, new string) []byte {
+	t.Helper()
+	if !strings.Contains(validMatrix, old) {
+		t.Fatalf("mutation target %q not in the valid matrix", old)
+	}
+	return []byte(strings.Replace(validMatrix, old, new, 1))
+}
+
+func TestParseRejectsMalformedCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		path string // the SpecError must locate the offending field
+	}{
+		{"syntax", []byte(`{"name": `), "json"},
+		{"unknown-field", []byte(`{"wrklds": []}`), "json"},
+		{"trailing", []byte(`{"workloads":[{"name":"w","kind":"agent"}],"soak":{"workload":"w","sessions":1,"duration_sec":1}} {}`), "json"},
+		{"not-object", []byte(`[1,2]`), "json"},
+		{"no-workloads", []byte(`{"topologies": ["single"]}`), "workloads"},
+		{"workload-unnamed", mutate(t, `"name": "bio", `, ""), "workloads[0].name"},
+		{"workload-dup", mutate(t, `"name": "agent", "kind": "agent"`, `"name": "bio", "kind": "agent"`), "workloads[1].name"},
+		{"kind-missing", mutate(t, `"kind": "grammar", `, ""), "workloads[0]"},
+		{"kind-unknown", mutate(t, `"kind": "grammar"`, `"kind": "llm"`), "workloads[0].kind"},
+		{"grammar-no-spec", mutate(t, `"spec": "BioAID", `, ""), "workloads[0].spec"},
+		{"grammar-bad-spec", mutate(t, `"spec": "BioAID"`, `"spec": "NoSuch"`), "workloads[0].spec"},
+		{"grammar-agent-knobs", mutate(t, `"spec": "BioAID", "size": 500`, `"spec": "BioAID", "size": 500, "depth": 3`), "workloads[0]"},
+		{"agent-with-spec", mutate(t, `"kind": "agent", "size": 400`, `"kind": "agent", "spec": "BioAID", "size": 400`), "workloads[1].spec"},
+		{"agent-depth-wild", mutate(t, `"depth": 4`, `"depth": 100000`), "workloads[1].depth"},
+		{"size-negative", mutate(t, `"size": 500`, `"size": -1`), "workloads[0].size"},
+		{"size-huge", mutate(t, `"size": 500`, `"size": 100000000`), "workloads[0].size"},
+		{"topology-unknown", mutate(t, `"single"`, `"mesh"`), "topologies[0]"},
+		{"topology-dup", mutate(t, `"replica"]`, `"single"]`), "topologies[1]"},
+		{"transport-unknown", mutate(t, `"binary"`, `"udp"`), "transports[0]"},
+		{"sessions-zero", mutate(t, `[2, 4]`, `[0]`), "sessions[0]"},
+		{"sessions-dup", mutate(t, `[2, 4]`, `[2, 2]`), "sessions[1]"},
+		{"mix-unnamed", mutate(t, `"name": "rw", `, ""), "mixes[0].name"},
+		{"mix-readers", mutate(t, `"readers": 2`, `"readers": -1`), "mixes[0].readers"},
+		{"mix-reach-batch", mutate(t, `"reach_batch": 8`, `"reach_batch": 9999`), "mixes[0].reach_batch"},
+		{"slo-negative", mutate(t, `"p99_ingest_us": 500000`, `"p99_ingest_us": -5`), "slo.p99_ingest_us"},
+		{"override-unknown-topology", mutate(t, `{"topology": "replica",`, `{"topology": "cluster3",`), "overrides[0].topology"},
+		{"override-unknown-workload", mutate(t, `{"workload": "agent",`, `{"workload": "ghost",`), "overrides[1].workload"},
+		{"override-unknown-sessions", mutate(t, `"sessions": 4,`, `"sessions": 7,`), "overrides[1].sessions"},
+		{"override-empty", mutate(t, `{"topology": "replica", "slo": {"max_replica_lag_events": 100000}}`, `{"topology": "replica", "slo": {}}`), "overrides[0].slo"},
+		{"no-dims-no-soak", []byte(`{"workloads": [{"name": "w", "kind": "agent"}]}`), "topologies"},
+		{"partial-dims", []byte(`{"workloads": [{"name": "w", "kind": "agent"}], "topologies": ["single"]}`), "transports"},
+		{"soak-unknown-workload", []byte(`{"workloads": [{"name": "w", "kind": "agent"}], "soak": {"workload": "x", "sessions": 1, "duration_sec": 1}}`), "soak.workload"},
+		{"soak-no-duration", []byte(`{"workloads": [{"name": "w", "kind": "agent"}], "soak": {"workload": "w", "sessions": 1}}`), "soak.duration_sec"},
+		{"soak-bad-topology", []byte(`{"workloads": [{"name": "w", "kind": "agent"}], "soak": {"workload": "w", "topology": "dual", "sessions": 1, "duration_sec": 1}}`), "soak.topology"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.data)
+			if err == nil {
+				t.Fatalf("accepted malformed spec:\n%s", tc.data)
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T, want *SpecError: %v", err, err)
+			}
+			if !strings.HasPrefix(se.Path, tc.path) {
+				t.Fatalf("error path %q, want prefix %q (%v)", se.Path, tc.path, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package loadmatrix
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"wfreach/client"
+	"wfreach/internal/api"
+	"wfreach/internal/cluster"
+	"wfreach/internal/replica"
+	"wfreach/internal/service"
+)
+
+// driver is the slice of the SDK surface the harness drives, satisfied
+// by both the single-server client.Client and the routing
+// client.Cluster — scenario code does not care which.
+type driver interface {
+	CreateSession(ctx context.Context, req client.CreateSessionRequest) (client.SessionStats, error)
+	Session(ctx context.Context, name string) (client.SessionStats, error)
+	DeleteSession(ctx context.Context, name string) error
+	Ingest(ctx context.Context, session string, events []client.Event) (client.EventsResponse, error)
+	IngestFrames(ctx context.Context, session string, events []client.Event) (client.EventsResponse, error)
+	ReachBatch(ctx context.Context, session string, pairs []client.ReachPair) ([]client.ReachAnswer, error)
+	Reach(ctx context.Context, session string, from, to int32) (bool, error)
+	Lineage(ctx context.Context, session string, of int32) ([]int32, error)
+}
+
+// topo is one launched in-process server topology: where writes and
+// reads go, and — when a follower exists — the status clients the lag
+// sampler polls.
+type topo struct {
+	kind  string
+	write driver
+	read  driver
+	// primary/follower are non-nil exactly for the replica topology.
+	primary  *client.Client
+	follower *client.Client
+	cleanup  []func()
+}
+
+func (t *topo) hasReplica() bool { return t.follower != nil }
+
+func (t *topo) Close() {
+	for i := len(t.cleanup) - 1; i >= 0; i-- {
+		t.cleanup[i]()
+	}
+}
+
+// serve exposes a handler on a loopback listener and returns its base
+// URL — real TCP, because followers and cluster maps dial URLs.
+func serve(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// durableNode starts one durable registry (no fsync — the harness
+// measures the pipeline, not the disk) under dir and serves it.
+func durableNode(dir string) (*service.Registry, string, func(), error) {
+	reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: dir, Fsync: false})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if _, err := reg.Restore(dir); err != nil {
+		_ = reg.Close()
+		return nil, "", nil, err
+	}
+	url, stop, err := serve(service.NewHandler(reg))
+	if err != nil {
+		_ = reg.Close()
+		return nil, "", nil, err
+	}
+	return reg, url, func() { stop(); _ = reg.Close() }, nil
+}
+
+// launchTopology builds the in-process server shape a scenario runs
+// against. scratch is a private empty directory for durable state;
+// the caller owns its deletion.
+//
+//   - "single":   one in-memory registry; reads and writes share it.
+//   - "replica":  durable primary + durable follower tailing its WAL
+//     over HTTP; writes to the primary, reads to the follower.
+//   - "cluster3": three durable nodes behind a shared consistent-hash
+//     map; the routing client carries both reads and writes.
+func launchTopology(kind, scratch string) (*topo, error) {
+	switch kind {
+	case "single":
+		reg := service.NewRegistry()
+		url, stop, err := serve(service.NewHandler(reg))
+		if err != nil {
+			return nil, err
+		}
+		c := client.New(url, client.WithRetry(0, 0))
+		return &topo{kind: kind, write: c, read: c, cleanup: []func(){stop}}, nil
+
+	case "replica":
+		pdir, fdir := scratch+"/primary", scratch+"/follower"
+		for _, d := range []string{pdir, fdir} {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return nil, err
+			}
+		}
+		_, purl, pstop, err := durableNode(pdir)
+		if err != nil {
+			return nil, err
+		}
+		freg, furl, fstop, err := durableNode(fdir)
+		if err != nil {
+			pstop()
+			return nil, err
+		}
+		f := replica.New(purl, freg, replica.Options{
+			PollInterval:     25 * time.Millisecond,
+			ReconnectBackoff: 10 * time.Millisecond,
+			MaxBackoff:       100 * time.Millisecond,
+		})
+		f.Start()
+		return &topo{
+			kind:     kind,
+			write:    client.New(purl, client.WithRetry(0, 0)),
+			read:     client.New(furl, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
+			primary:  client.New(purl, client.WithRetry(0, 0)),
+			follower: client.New(furl, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
+			cleanup:  []func(){pstop, fstop, f.Close},
+		}, nil
+
+	case "cluster3":
+		var cleanup []func()
+		fail := func(err error) (*topo, error) {
+			for i := len(cleanup) - 1; i >= 0; i-- {
+				cleanup[i]()
+			}
+			return nil, err
+		}
+		m := api.ClusterMap{Version: 1}
+		regs := make([]*service.Registry, 3)
+		for i := 0; i < 3; i++ {
+			dir := fmt.Sprintf("%s/node%d", scratch, i)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fail(err)
+			}
+			reg, url, stop, err := durableNode(dir)
+			if err != nil {
+				return fail(err)
+			}
+			cleanup = append(cleanup, stop)
+			regs[i] = reg
+			m.Nodes = append(m.Nodes, api.ClusterNode{Name: fmt.Sprintf("n%d", i), URL: url})
+		}
+		for i, reg := range regs {
+			// The controller installs the placement gate on its node; the
+			// prober stays unstarted — matrix scenarios never move
+			// sessions, so there is nothing to gossip.
+			if _, err := cluster.New(m.Nodes[i].Name, m, reg, cluster.Options{}); err != nil {
+				return fail(err)
+			}
+		}
+		cl, err := client.NewCluster(m, client.WithRetry(0, 0))
+		if err != nil {
+			return fail(err)
+		}
+		return &topo{kind: kind, write: cl, read: cl, cleanup: cleanup}, nil
+
+	default:
+		return nil, fmt.Errorf("loadmatrix: unknown topology %q", kind)
+	}
+}

@@ -735,6 +735,8 @@ func (s *Session) Stats() Stats {
 // workloads), or false for unknown names.
 func Builtin(name string) (*spec.Spec, bool) {
 	switch name {
+	case "Agent":
+		return wfspecs.Agent(), true
 	case "RunningExample":
 		return wfspecs.RunningExample(), true
 	case "BioAID":
@@ -751,5 +753,5 @@ func Builtin(name string) (*spec.Spec, bool) {
 
 // BuiltinNames lists the built-in specification names, sorted.
 func BuiltinNames() []string {
-	return []string{"BioAID", "BioAIDNonRecursive", "LowerBound", "Path", "RunningExample"}
+	return []string{"Agent", "BioAID", "BioAIDNonRecursive", "LowerBound", "Path", "RunningExample"}
 }

@@ -1,0 +1,56 @@
+package wfspecs
+
+import "wfreach/internal/spec"
+
+// Agent returns the LLM-agent workflow grammar: the recursive
+// tool-call shape of agentic workloads (FlowMind-style execute →
+// summarize recursion), where an agent plans, fans a burst of
+// parallel tool calls out (each call retried a random number of
+// times), optionally delegates the task to a sub-agent, and
+// summarizes — the adversarial combination of deep recursion, bursty
+// fan-out and long-lived sessions that provenance systems meet in
+// LLM-mediated pipelines.
+//
+//	g0:              s0 → Turns → t0
+//	h_turn (Turns):  su → prompt → Agent → reply → tu          (loop: one turn each)
+//	h_act  (Agent):  sa → act → ta                             (answer directly)
+//	h_plan (Agent):  sp → plan → Calls → Sub → summarize → tp  (work)
+//	h_call (Calls):  sc → Tool → tc      (fork: parallel tool-call burst)
+//	h_tool (Tool):   st → invoke → tt    (loop: retries of one call)
+//	h_sub  (Sub):    ss → Agent → ts     (delegate to a sub-agent; recursion)
+//	h_skip (Sub):    sk → tk             (no delegation)
+//
+// The Turns loop is the long-lived-session axis: one run is a whole
+// conversation, each loop copy a prompt → agent → reply turn, so runs
+// grow without bound while delegation depth stays controlled. The
+// recursion cycle Agent → Sub → Agent is linear — one recursive
+// vertex per production, and none of the pumped modules sits on the
+// cycle — so labels stay logarithmic no matter how deep the delegation
+// goes (the paper's compact case), while fork copies of h_call model a
+// burst of parallel tool calls and loop copies of h_tool model retries
+// of one call. gen.GenerateAgentTrace derives runs of this grammar
+// with explicit turn, depth, burst and retry control.
+func Agent() *spec.Spec {
+	return spec.NewBuilder().
+		Composite("Agent", "Sub").Loop("Turns", "Tool").Fork("Calls").
+		Start("g0", spec.G([]string{"s0", "Turns", "t0"},
+			[2]string{"s0", "Turns"}, [2]string{"Turns", "t0"})).
+		Implement("Turns", "h_turn", spec.G([]string{"su", "prompt", "Agent", "reply", "tu"},
+			[2]string{"su", "prompt"}, [2]string{"prompt", "Agent"},
+			[2]string{"Agent", "reply"}, [2]string{"reply", "tu"})).
+		Implement("Agent", "h_act", spec.G([]string{"sa", "act", "ta"},
+			[2]string{"sa", "act"}, [2]string{"act", "ta"})).
+		Implement("Agent", "h_plan", spec.G([]string{"sp", "plan", "Calls", "Sub", "summarize", "tp"},
+			[2]string{"sp", "plan"}, [2]string{"plan", "Calls"},
+			[2]string{"Calls", "Sub"}, [2]string{"Sub", "summarize"},
+			[2]string{"summarize", "tp"})).
+		Implement("Calls", "h_call", spec.G([]string{"sc", "Tool", "tc"},
+			[2]string{"sc", "Tool"}, [2]string{"Tool", "tc"})).
+		Implement("Tool", "h_tool", spec.G([]string{"st", "invoke", "tt"},
+			[2]string{"st", "invoke"}, [2]string{"invoke", "tt"})).
+		Implement("Sub", "h_sub", spec.G([]string{"ss", "Agent", "ts"},
+			[2]string{"ss", "Agent"}, [2]string{"Agent", "ts"})).
+		Implement("Sub", "h_skip", spec.G([]string{"sk", "tk"},
+			[2]string{"sk", "tk"})).
+		MustBuild()
+}

@@ -272,6 +272,28 @@ func GenerateEvents(g *Grammar, opts GenOptions) ([]Event, *Run, error) {
 	return gen.GenerateEvents(g, opts)
 }
 
+// LLM-agent adversarial workload (the load matrix's "agent"
+// dimension): recursive tool-call conversations with explicit turn,
+// delegation-depth, burst and retry control.
+type (
+	// AgentOptions steers GenerateAgentTrace.
+	AgentOptions = gen.AgentOptions
+	// AgentTrace is one generated agent conversation: events, oracle
+	// run, and the shape the random choices produced.
+	AgentTrace = gen.AgentTrace
+)
+
+// GenerateAgentTrace derives a random run of the LLM-agent grammar
+// (the "Agent" builtin) and returns its execution event stream with
+// ground truth and shape statistics.
+func GenerateAgentTrace(opts AgentOptions) (*AgentTrace, error) {
+	return gen.GenerateAgentTrace(opts)
+}
+
+// AgentWorkflow returns the LLM-agent workflow grammar (the "Agent"
+// builtin): a conversation loop of recursive tool-call turns.
+func AgentWorkflow() *Spec { return wfspecs.Agent() }
+
 // ToWire converts an execution event to its HTTP wire form.
 func ToWire(ev Event) WireEvent { return service.ToWire(ev) }
 
