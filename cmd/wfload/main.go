@@ -283,6 +283,21 @@ type reportMove struct {
 	Sec     float64 `json:"sec"`
 }
 
+// reportRestore is the -resume result: how much recovered state the
+// restarted server is holding and how the verification pass went.
+// ArenaLabels counts labels served zero-copy from a mapped v2
+// snapshot; LabelsPerSec is recovered labels over the verification
+// wall-time (the server's own restore wall-time is on its stdout).
+type reportRestore struct {
+	Sessions     int     `json:"sessions"`
+	Labels       int64   `json:"labels"`
+	ArenaLabels  int64   `json:"arena_labels"`
+	VerifySec    float64 `json:"verify_sec"`
+	LabelsPerSec float64 `json:"labels_per_sec"`
+	Queries      int64   `json:"queries"`
+	Mismatches   int64   `json:"mismatches"`
+}
+
 // report is the -json result document: the workload configuration and
 // the measured throughput and latency numbers, in stable units.
 type report struct {
@@ -313,6 +328,7 @@ type report struct {
 	QueryLatency     reportPercentiles     `json:"query_latency"`
 	VerifyChecked    bool                  `json:"verify_checked"`
 	VerifyMismatches int64                 `json:"verify_mismatches"`
+	Restore          *reportRestore        `json:"restore,omitempty"`
 }
 
 func writeReport(path string, rep report) error {
@@ -369,7 +385,8 @@ type sessionLoad struct {
 // matches BFS ground truth on the regenerated run.
 func runResume(ctx context.Context, cfg config, c driver, loads []sessionLoad, out io.Writer) error {
 	fmt.Fprintf(out, "wfload: resume verification of %d session(s) against regenerated ground truth\n", len(loads))
-	bad := 0
+	start := time.Now()
+	var bad, checked, labels, arenaLabels int64
 	for i, l := range loads {
 		st, err := c.Session(ctx, l.name)
 		if err != nil {
@@ -380,8 +397,10 @@ func runResume(ctx context.Context, cfg config, c driver, loads []sessionLoad, o
 			return fmt.Errorf("session %s: %d vertices recovered but only %d events were generated (seed mismatch?)",
 				l.name, n, len(l.events))
 		}
+		labels += st.Vertices
+		arenaLabels += st.ArenaVertices
 		rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
-		mismatches, checked := 0, 0
+		var mismatches, qs int64
 		for q := 0; q < cfg.queries && n >= 1; q++ {
 			v := l.events[rng.Int63n(int64(n))].V
 			w := l.events[rng.Int63n(int64(n))].V
@@ -389,16 +408,39 @@ func runResume(ctx context.Context, cfg config, c driver, loads []sessionLoad, o
 			if err != nil {
 				return fmt.Errorf("session %s: reach(%d,%d): %w", l.name, v, w, err)
 			}
-			checked++
+			qs++
 			if reachable != l.run.Reaches(v, w) {
 				mismatches++
 				fmt.Fprintf(out, "  MISMATCH %s: reach(%d,%d)=%v, oracle says %v\n",
 					l.name, v, w, reachable, l.run.Reaches(v, w))
 			}
 		}
-		fmt.Fprintf(out, "  %s: %d/%d vertices recovered (durable=%v), %d queries, %d mismatches\n",
-			l.name, n, len(l.events), st.Durable, checked, mismatches)
+		fmt.Fprintf(out, "  %s: %d/%d vertices recovered (%d arena-mapped, durable=%v), %d queries, %d mismatches\n",
+			l.name, n, len(l.events), st.ArenaVertices, st.Durable, qs, mismatches)
 		bad += mismatches
+		checked += qs
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "wfload: %d labels recovered (%d arena-mapped) across %d session(s), verified in %s (%.0f labels/sec)\n",
+		labels, arenaLabels, len(loads), elapsed.Round(time.Millisecond),
+		float64(labels)/max(elapsed.Seconds(), 1e-9))
+	if cfg.jsonPath != "" {
+		rep := report{
+			Spec: cfg.spec, Mode: cfg.mode(), Sessions: cfg.sessions,
+			SizePerSession: cfg.size, Seed: cfg.seed,
+			ElapsedSec: elapsed.Seconds(), Queries: checked,
+			VerifyChecked: true, VerifyMismatches: bad,
+			Restore: &reportRestore{
+				Sessions: len(loads), Labels: labels, ArenaLabels: arenaLabels,
+				VerifySec:    elapsed.Seconds(),
+				LabelsPerSec: float64(labels) / max(elapsed.Seconds(), 1e-9),
+				Queries:      checked, Mismatches: bad,
+			},
+		}
+		if err := writeReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wfload: wrote report to %s\n", cfg.jsonPath)
 	}
 	if bad > 0 {
 		return fmt.Errorf("resume verification failed: %d mismatches", bad)

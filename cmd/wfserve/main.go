@@ -177,14 +177,26 @@ func main() {
 			fail(err)
 		}
 		reg.SetDefaultShards(*shards)
+		restoreStart := time.Now()
 		restored, err := reg.Restore(*dataDir)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("wfserve: durable under %s, restored %d session(s)\n", *dataDir, len(restored))
+		elapsed := time.Since(restoreStart)
+		var labels int64
 		for _, name := range restored {
 			if s, ok := reg.Get(name); ok {
-				fmt.Printf("wfserve: restored %q: %d vertices, WAL seq %d\n", name, s.Vertices(), s.WALSeq())
+				labels += s.Vertices()
+			}
+		}
+		rate := float64(labels) / max(elapsed.Seconds(), 1e-9)
+		fmt.Printf("wfserve: durable under %s, restored %d session(s) in %s (%.0f labels/sec)\n",
+			*dataDir, len(restored), elapsed.Round(time.Millisecond), rate)
+		for _, name := range restored {
+			if s, ok := reg.Get(name); ok {
+				st := s.Stats()
+				fmt.Printf("wfserve: restored %q: %d vertices (%d arena-mapped), WAL seq %d\n",
+					name, st.Vertices, st.ArenaVertices, s.WALSeq())
 			}
 		}
 	} else {

@@ -167,6 +167,10 @@ type SessionStats struct {
 	Mode string `json:"mode"`
 	// Vertices is the number of labeled vertices.
 	Vertices int64 `json:"vertices"`
+	// ArenaVertices is the number of labels served zero-copy from a
+	// mapped arena snapshot (see internal/arena); 0 for sessions whose
+	// labels are all heap-resident.
+	ArenaVertices int64 `json:"arena_vertices,omitempty"`
 	// Batches is the number of event batches ingested since the
 	// session was opened or restored in this process.
 	Batches int64 `json:"batches"`

@@ -1,0 +1,434 @@
+// Package arena implements the WFSNAP02 label-snapshot format: an
+// mmap-able arena of encoded labels that a process opens in constant
+// time and queries without decoding or copying anything.
+//
+// The v1 snapshot (internal/wal) is a varint-packed stream — reading
+// it means one heap allocation per label and a map insert per label,
+// so restoring a gigabyte session costs seconds before the first
+// query. The arena format instead lays the file out so the *file
+// itself* is the data structure:
+//
+//	[0:8)    magic "WFSNAP02" (ASCII)
+//	[8:16)   uint64 LE  events      — WAL records covered by this snapshot
+//	[16:24)  uint64 LE  walBytes    — byte offset of the end of the covered
+//	                                  prefix in the session's events.wal
+//	[24:32)  uint64 LE  count       — number of label entries
+//	[32:40)  uint64 LE  labelBytes  — total label-region size in bytes
+//	[40:44)  uint32 LE  labelCRC    — CRC-32 (IEEE) of the label region
+//	[44:48)  uint32 LE  indexCRC    — CRC-32 (IEEE) of header[8:40) ++ index
+//	[48:48+16·count)    index       — count entries, sorted by vertex id:
+//	                                    uint32 LE vertex
+//	                                    uint32 LE length
+//	                                    uint64 LE offset (into the label region)
+//	[.. +labelBytes)    label bytes — each label's encoding, contiguous,
+//	                                  in index order
+//
+// The index is fixed-width and sorted, so a vertex is found by binary
+// search straight over the mapped bytes — and because run vertices are
+// assigned densely, the common case degenerates to a single O(1)
+// offset computation. Labels are write-once (Section 2.4 of the
+// paper), which is what makes serving query results as sub-slices of
+// the mapped file sound: the bytes can never change underneath a
+// reader, by the same ownership contract internal/store already
+// relies on for its heap labels.
+//
+// On linux the file is mapped with mmap(MAP_SHARED, PROT_READ); other
+// platforms fall back to reading the file into memory (same API, no
+// zero-copy restore). The index CRC is verified at Open — it is a few
+// hundred KB even for millions of labels — while the label-region CRC
+// is verified by Verify on demand, so opening a multi-gigabyte arena
+// does not fault in every page up front.
+package arena
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"wfreach/internal/graph"
+)
+
+// Magic identifies an arena snapshot file (format version 2 of the
+// labels.snap lineage started by internal/wal's WFSNAP01).
+const Magic = "WFSNAP02"
+
+const (
+	headerSize = 48
+	entrySize  = 16
+)
+
+// maxCount caps the entry count Open accepts, so a corrupt header
+// cannot demand a multi-exabyte index before validation catches it.
+// 1<<31 entries is far beyond any session (vertex ids are int32).
+const maxCount = 1 << 31
+
+// ErrCorrupt reports an arena file whose structure or checksum is
+// invalid.
+var ErrCorrupt = errors.New("arena: corrupt snapshot")
+
+// ErrVersion reports a snapshot file in a different format version
+// (e.g. a v1 "WFSNAP01" file). Callers fall back to the v1 reader.
+var ErrVersion = errors.New("arena: snapshot format version not supported")
+
+// Entry is one vertex → encoded-label pair handed to Write. Enc is
+// aliased, never copied: the writer streams the bytes out directly.
+type Entry struct {
+	V   graph.VertexID
+	Enc []byte
+}
+
+// Meta is the snapshot watermark written into the header.
+type Meta struct {
+	// Events is the number of WAL records the snapshot covers (each
+	// record labels exactly one vertex).
+	Events int64
+	// WALBytes is the byte offset of the end of the covered prefix in
+	// the session's WAL — where a restore resumes scanning.
+	WALBytes int64
+}
+
+// Arena is an open snapshot: the raw file bytes (mapped on linux,
+// read into memory elsewhere) plus the parsed header. All methods are
+// safe for concurrent use; the underlying bytes are immutable.
+type Arena struct {
+	data   []byte // the whole file
+	index  []byte // aliases data
+	labels []byte // aliases data
+	meta   Meta
+	count  int
+	mapped bool
+
+	// dense is set when the vertex ids are exactly [minV, minV+count),
+	// which run vertices nearly always are — lookups then skip the
+	// binary search.
+	dense bool
+	minV  graph.VertexID
+
+	// buckets accelerates sparse lookups: buckets[b] is the first index
+	// entry whose vertex is >= minV + b<<bucketShift, so Get narrows to
+	// a couple of entries in O(1) instead of a full binary search. Built
+	// in one pass at Open; nil for dense or empty arenas.
+	buckets     []int32
+	bucketShift uint
+}
+
+// Open opens the arena snapshot at path, mapping it on linux. The
+// header and index are validated (magic, sizes, index CRC, sorted
+// contiguous extents); the label region's CRC is left to Verify. A
+// v1-format file is reported as ErrVersion, damage as ErrCorrupt.
+func Open(path string) (*Arena, error) {
+	data, mapped, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := parse(data, mapped)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return a, nil
+}
+
+// parse validates the header and index of a raw arena image.
+func parse(data []byte, mapped bool) (*Arena, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != Magic {
+		if string(data[:6]) == Magic[:6] { // a WFSNAP file of another version
+			return nil, fmt.Errorf("%w: magic %q", ErrVersion, data[:8])
+		}
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	events := binary.LittleEndian.Uint64(data[8:16])
+	walBytes := binary.LittleEndian.Uint64(data[16:24])
+	count := binary.LittleEndian.Uint64(data[24:32])
+	labelBytes := binary.LittleEndian.Uint64(data[32:40])
+	indexCRC := binary.LittleEndian.Uint32(data[44:48])
+	if events > 1<<62 || walBytes > 1<<62 || count > maxCount {
+		return nil, fmt.Errorf("%w: implausible header (events=%d walBytes=%d count=%d)", ErrCorrupt, events, walBytes, count)
+	}
+	want := uint64(headerSize) + count*entrySize + labelBytes
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("%w: file is %d bytes, header describes %d", ErrCorrupt, len(data), want)
+	}
+	index := data[headerSize : headerSize+count*entrySize]
+	labels := data[headerSize+count*entrySize:]
+
+	h := crc32.NewIEEE()
+	h.Write(data[8:40])
+	h.Write(index)
+	if h.Sum32() != indexCRC {
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
+	}
+
+	// Entries must be strictly ascending by vertex with contiguous
+	// extents: offset i == offset i-1 + length i-1, summing exactly to
+	// labelBytes. That one invariant rules out overlaps, gaps and
+	// out-of-bounds slices in a single pass.
+	a := &Arena{
+		data:   data,
+		index:  index,
+		labels: labels,
+		meta:   Meta{Events: int64(events), WALBytes: int64(walBytes)},
+		count:  int(count),
+		mapped: mapped,
+	}
+	var next uint64
+	prevV := int64(-1)
+	for i := 0; i < a.count; i++ {
+		e := index[i*entrySize:]
+		v := binary.LittleEndian.Uint32(e[0:4])
+		length := binary.LittleEndian.Uint32(e[4:8])
+		offset := binary.LittleEndian.Uint64(e[8:16])
+		if int64(v) <= prevV || int64(v) > int64(graph.VertexID(1<<31-1)) {
+			return nil, fmt.Errorf("%w: index not strictly ascending at entry %d", ErrCorrupt, i)
+		}
+		if offset != next {
+			return nil, fmt.Errorf("%w: entry %d extent [%d,+%d) is not contiguous (expected offset %d)", ErrCorrupt, i, offset, length, next)
+		}
+		next = offset + uint64(length)
+		if next > labelBytes {
+			return nil, fmt.Errorf("%w: entry %d extent [%d,+%d) exceeds label region of %d bytes", ErrCorrupt, i, offset, length, labelBytes)
+		}
+		prevV = int64(v)
+	}
+	if next != labelBytes {
+		return nil, fmt.Errorf("%w: label region is %d bytes but extents cover %d", ErrCorrupt, labelBytes, next)
+	}
+	if a.count > 0 {
+		a.minV = graph.VertexID(binary.LittleEndian.Uint32(index[0:4]))
+		maxV := graph.VertexID(binary.LittleEndian.Uint32(index[(a.count-1)*entrySize:]))
+		a.dense = int64(maxV)-int64(a.minV)+1 == int64(a.count)
+		if !a.dense {
+			a.buildBuckets(maxV)
+		}
+	}
+	return a, nil
+}
+
+// buildBuckets constructs the sparse-lookup sidecar: the id span is
+// divided into ~count ranges, and buckets[b] records the first index
+// entry falling in range b. One O(count) pass, ≤ 4·count bytes of heap,
+// and lookups touch only the handful of entries sharing a range.
+func (a *Arena) buildBuckets(maxV graph.VertexID) {
+	span := uint64(maxV-a.minV) + 1
+	for span>>a.bucketShift > uint64(a.count) {
+		a.bucketShift++
+	}
+	nb := int(uint64(maxV-a.minV)>>a.bucketShift) + 1
+	a.buckets = make([]int32, nb+1)
+	b := 0
+	for i := 0; i < a.count; i++ {
+		v := graph.VertexID(binary.LittleEndian.Uint32(a.index[i*entrySize:]))
+		for hi := int(uint64(v-a.minV)>>a.bucketShift) + 1; b < hi; b++ {
+			a.buckets[b] = int32(i)
+		}
+	}
+	for ; b <= nb; b++ {
+		a.buckets[b] = int32(a.count)
+	}
+}
+
+// Meta returns the snapshot watermark.
+func (a *Arena) Meta() Meta { return a.meta }
+
+// Events returns the number of WAL records the snapshot covers.
+func (a *Arena) Events() int64 { return a.meta.Events }
+
+// WALBytes returns the WAL byte offset of the end of the covered
+// prefix.
+func (a *Arena) WALBytes() int64 { return a.meta.WALBytes }
+
+// Count returns the number of labels in the arena.
+func (a *Arena) Count() int { return a.count }
+
+// LabelBytes returns the total size of the label region in bytes.
+func (a *Arena) LabelBytes() int64 { return int64(len(a.labels)) }
+
+// Mapped reports whether the arena is served from a memory mapping
+// (true on linux) rather than a heap copy of the file.
+func (a *Arena) Mapped() bool { return a.mapped }
+
+// entry decodes index entry i.
+func (a *Arena) entry(i int) (v graph.VertexID, enc []byte) {
+	e := a.index[i*entrySize:]
+	length := binary.LittleEndian.Uint32(e[4:8])
+	offset := binary.LittleEndian.Uint64(e[8:16])
+	return graph.VertexID(binary.LittleEndian.Uint32(e[0:4])), a.labels[offset : offset+uint64(length) : offset+uint64(length)]
+}
+
+// EntryAt returns the i-th entry in vertex order. The returned bytes
+// alias the arena and must be treated as immutable.
+func (a *Arena) EntryAt(i int) (graph.VertexID, []byte) { return a.entry(i) }
+
+// Get returns the encoded label of v, aliasing the arena's bytes —
+// zero copies, zero allocations. Dense vertex ranges resolve in O(1);
+// sparse ones narrow to one bucket (a couple of entries on average)
+// via the sidecar built at Open, then scan it.
+func (a *Arena) Get(v graph.VertexID) ([]byte, bool) {
+	if a.count == 0 || v < a.minV {
+		return nil, false
+	}
+	if a.dense {
+		i := int(v - a.minV)
+		if i >= a.count {
+			return nil, false
+		}
+		_, enc := a.entry(i)
+		return enc, true
+	}
+	b := int(uint64(v-a.minV) >> a.bucketShift)
+	if b >= len(a.buckets)-1 {
+		return nil, false
+	}
+	for i, hi := int(a.buckets[b]), int(a.buckets[b+1]); i < hi; i++ {
+		got := graph.VertexID(binary.LittleEndian.Uint32(a.index[i*entrySize:]))
+		if got == v {
+			_, enc := a.entry(i)
+			return enc, true
+		}
+		if got > v {
+			break
+		}
+	}
+	return nil, false
+}
+
+// Range calls fn for every entry in ascending vertex order until fn
+// returns false. The label bytes alias the arena.
+func (a *Arena) Range(fn func(v graph.VertexID, enc []byte) bool) {
+	for i := 0; i < a.count; i++ {
+		v, enc := a.entry(i)
+		if !fn(v, enc) {
+			return
+		}
+	}
+}
+
+// Verify checks the label region against the header's CRC — the full
+// integrity pass Open deliberately skips so that restore stays O(index).
+// It faults in every page of the label region.
+func (a *Arena) Verify() error {
+	if crc32.ChecksumIEEE(a.labels) != binary.LittleEndian.Uint32(a.data[40:44]) {
+		return fmt.Errorf("%w: label region checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// Close releases the mapping. It must not be called while any caller
+// can still hold slices into the arena — a store serving an arena
+// keeps it for the store's lifetime and never closes it.
+func (a *Arena) Close() error {
+	if !a.mapped {
+		a.data, a.index, a.labels = nil, nil, nil
+		return nil
+	}
+	data := a.data
+	a.data, a.index, a.labels = nil, nil, nil
+	a.mapped = false
+	return unmapFile(data)
+}
+
+// Write atomically replaces the arena snapshot at path: entries are
+// sorted by vertex (in place — the slice is scratch owned by the
+// caller, its Enc bytes are only read), streamed through a buffered
+// writer, synced, and renamed into place, like the v1 writer. Nothing
+// is re-encoded and no label byte is copied: snapshotting a session
+// costs one pass over the entries plus the file write itself.
+func Write(path string, meta Meta, entries []Entry) error {
+	if meta.Events < 0 || meta.WALBytes < 0 {
+		return fmt.Errorf("arena: negative watermark (events=%d walBytes=%d)", meta.Events, meta.WALBytes)
+	}
+	slices.SortFunc(entries, func(a, b Entry) int {
+		switch {
+		case a.V < b.V:
+			return -1
+		case a.V > b.V:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var labelBytes uint64
+	labelCRC := crc32.NewIEEE()
+	index := make([]byte, len(entries)*entrySize)
+	for i, e := range entries {
+		if i > 0 && e.V == entries[i-1].V {
+			return fmt.Errorf("arena: vertex %d duplicated", e.V)
+		}
+		if e.V < 0 {
+			return fmt.Errorf("arena: negative vertex id %d", e.V)
+		}
+		ix := index[i*entrySize:]
+		binary.LittleEndian.PutUint32(ix[0:4], uint32(e.V))
+		binary.LittleEndian.PutUint32(ix[4:8], uint32(len(e.Enc)))
+		binary.LittleEndian.PutUint64(ix[8:16], labelBytes)
+		labelBytes += uint64(len(e.Enc))
+		labelCRC.Write(e.Enc)
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(meta.Events))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(meta.WALBytes))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(hdr[32:40], labelBytes)
+	binary.LittleEndian.PutUint32(hdr[40:44], labelCRC.Sum32())
+	indexCRC := crc32.NewIEEE()
+	indexCRC.Write(hdr[8:40])
+	indexCRC.Write(index)
+	binary.LittleEndian.PutUint32(hdr[44:48], indexCRC.Sum32())
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("arena: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, err = tmp.Write(hdr[:])
+	if err == nil {
+		_, err = tmp.Write(index)
+	}
+	if err == nil {
+		// The label region is the bulk of the file; write it through a
+		// modest buffer so small labels do not each pay a syscall.
+		buf := make([]byte, 0, 1<<16)
+		for _, e := range entries {
+			if len(buf)+len(e.Enc) > cap(buf) && len(buf) > 0 {
+				if _, err = tmp.Write(buf); err != nil {
+					break
+				}
+				buf = buf[:0]
+			}
+			if len(e.Enc) >= cap(buf) {
+				if _, err = tmp.Write(e.Enc); err != nil {
+					break
+				}
+				continue
+			}
+			buf = append(buf, e.Enc...)
+		}
+		if err == nil && len(buf) > 0 {
+			_, err = tmp.Write(buf)
+		}
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("arena: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("arena: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package arena
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfreach/internal/graph"
+)
+
+// FuzzArenaOpen throws arbitrary bytes at the v2 parser. The property
+// under test: Open either rejects the input or returns an arena whose
+// every entry is a safe, in-bounds slice — no panics, no entry that
+// escapes the label region, no unsorted index. Seeds cover the
+// interesting neighborhoods: a valid file, truncations, header and
+// index mutations.
+func FuzzArenaOpen(f *testing.F) {
+	path := filepath.Join(f.TempDir(), "seed.snap")
+	entries := []Entry{
+		{V: 0, Enc: []byte("alpha")},
+		{V: 1, Enc: []byte("b")},
+		{V: 5, Enc: []byte("gamma-gamma")},
+	}
+	if err := Write(path, Meta{Events: 3, WALBytes: 99}, entries); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])         // truncated label region
+	f.Add(valid[:headerSize+entrySize]) // truncated index
+	f.Add(valid[:12])                   // truncated header
+	f.Add([]byte("WFSNAP01v1 body...")) // v1 magic
+	f.Add([]byte("WFSNAP02"))           // magic only
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	mutated := bytes.Clone(valid)
+	mutated[headerSize+8] ^= 0x01 // entry 0 offset
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := parse(bytes.Clone(data), false)
+		if err != nil {
+			return
+		}
+		// Accepted: every access must stay in bounds and ordered.
+		prev := graph.VertexID(-1)
+		total := 0
+		a.Range(func(v graph.VertexID, enc []byte) bool {
+			if v <= prev {
+				t.Fatalf("unsorted index accepted: %d after %d", v, prev)
+			}
+			prev = v
+			total += len(enc)
+			got, ok := a.Get(v)
+			if !ok || !bytes.Equal(got, enc) {
+				t.Fatalf("Get(%d) disagrees with Range", v)
+			}
+			return true
+		})
+		if int64(total) != a.LabelBytes() {
+			t.Fatalf("extents cover %d bytes, label region is %d", total, a.LabelBytes())
+		}
+	})
+}

@@ -61,7 +61,12 @@ type peerState struct {
 // surface by placement (service.ClusterHooks), serves the /v1/cluster
 // control plane, probes the peers, and executes session moves by
 // tailing the owner's WAL — the same replay a follower runs, driven to
-// a sealed final sequence instead of forever.
+// a sealed final sequence instead of forever. A moved session persists
+// through the destination's own registry, so its snapshots land in the
+// arena format (WFSNAP02) and a node restart re-adopts every session
+// it hosts — moved or native — through the shared arena restore path:
+// snapshotted labels are mapped zero-copy and only the WAL tail past
+// the snapshot watermark is replayed.
 //
 // The controller deliberately talks raw HTTP + api types to its peers
 // rather than the client SDK: the SDK's cluster client imports this

@@ -17,6 +17,14 @@
 // sequence, and Promote needs nothing but a final catch-up attempt
 // before flipping the registry writable — the promoted server's WAL
 // already is a valid continuation of everything it acknowledged.
+//
+// Because a durable follower persists through the same registry as a
+// primary, it also snapshots in the arena format (WFSNAP02) and a
+// follower restart recovers through the same arena path: labels for
+// the snapshotted prefix are mapped zero-copy and only the WAL tail
+// past the snapshot's byte watermark is replayed, so rejoining after
+// a restart costs an mmap plus the tail — not a full re-label of the
+// session.
 package replica
 
 import (

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"wfreach/internal/api"
+	"wfreach/internal/arena"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
@@ -266,15 +267,31 @@ func (s *Session) commitWAL(log *wal.Log, seq int64) error {
 	return werr
 }
 
+// writeArenaSnapshot writes a WFSNAP02 arena snapshot (see
+// internal/arena): events is the covered record count, walBytes the
+// log byte offset the covered prefix ends at, entries the encoded
+// labels. The entry bytes are aliased, never copied — labels are
+// write-once, so a concurrent ingest can only add entries the snapshot
+// does not reference.
+func writeArenaSnapshot(path string, events, walBytes int64, entries []store.Entry) error {
+	aes := make([]arena.Entry, len(entries))
+	for i, e := range entries {
+		aes[i] = arena.Entry{V: e.V, Enc: e.Enc}
+	}
+	return arena.Write(path, arena.Meta{Events: events, WALBytes: walBytes}, aes)
+}
+
 // maybeSnapshot starts a label snapshot if enough events accumulated
 // since the last one and none is in flight. The consistent view —
-// label map plus event watermark — is captured under ingestMu: the
-// published store holds exactly the logged event prefix whenever the
-// ingest lock is free, so the watermark and the lock-free map snapshot
-// agree. The file write and fsync, which grow with session size, run
-// in a goroutine off the ingest path. Failures are not fatal — the WAL
-// alone is always sufficient for recovery — and are retried at a later
-// batch because the watermark does not advance. Called after a
+// label entries plus the event and byte watermarks — is captured under
+// ingestMu: the published store holds exactly the logged event prefix
+// whenever the ingest lock is free, so the watermarks and the staged
+// entry list agree. The file write and fsync, which grow with session
+// size, run in a goroutine off the ingest path. Snapshots are written
+// in the arena (WFSNAP02) format — a session restored from a v1 file
+// upgrades to v2 at its next snapshot. Failures are not fatal — the
+// WAL alone is always sufficient for recovery — and are retried at a
+// later batch because the watermark does not advance. Called after a
 // successful commit, without ingestMu held.
 func (s *Session) maybeSnapshot() {
 	s.ingestMu.Lock()
@@ -284,11 +301,12 @@ func (s *Session) maybeSnapshot() {
 	}
 	s.snapBusy = true
 	events := s.walEvents
-	labels := s.store.Snapshot()
+	walBytes := s.wal.AppendBytes()
+	entries := s.store.SnapshotEntries()
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
-		err := wal.WriteSnapshot(filepath.Join(s.dir, snapFile), wal.Snapshot{Events: events, Labels: labels})
+		err := writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, entries)
 		s.ingestMu.Lock()
 		s.snapBusy = false
 		if err == nil && events > s.snapEvents {
@@ -337,13 +355,19 @@ func (s *Session) NewWALTailer(from int64) (*wal.Tailer, error) {
 
 // closeWAL detaches and closes the session's log and waits for any
 // in-flight snapshot write to settle. Further ingestion fails; queries
-// keep working from the in-memory store.
-func (s *Session) closeWAL() error {
+// keep working from the in-memory store. With finalSnap set and events
+// beyond the last snapshot, a synchronous arena snapshot is written
+// after the close — the log is flushed, so the snapshot covers every
+// record and the next restore is a pure mmap with an empty WAL tail.
+func (s *Session) closeWAL(finalSnap bool) error {
 	s.ingestMu.Lock()
 	if s.wal == nil {
 		s.ingestMu.Unlock()
 		return nil
 	}
+	events := s.walEvents
+	walBytes := s.wal.AppendBytes()
+	behind := s.snapEvery > 0 && events > s.snapEvents
 	err := s.wal.Close()
 	s.wal = nil
 	if s.ioErr == nil {
@@ -353,13 +377,20 @@ func (s *Session) closeWAL() error {
 	// Outside ingestMu: the snapshot goroutine needs it to finish, and
 	// with the log gone no new snapshot can start.
 	s.snapWG.Wait()
+	if finalSnap && behind && err == nil {
+		// Best-effort: a failed snapshot just means the next restore
+		// replays the log, exactly as if the process had crashed here.
+		writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, s.store.SnapshotEntries())
+	}
 	return err
 }
 
-// Close flushes and closes every durable session's WAL. Durable
-// sessions stop accepting events (their logs are gone) but remain
-// queryable; a memory-only registry is unaffected. Use it for graceful
-// shutdown or before handing the data directory to another process.
+// Close flushes and closes every durable session's WAL, writing each
+// session a final arena snapshot so the next Restore maps it back in
+// without replaying the log. Durable sessions stop accepting events
+// (their logs are gone) but remain queryable; a memory-only registry
+// is unaffected. Use it for graceful shutdown or before handing the
+// data directory to another process.
 func (r *Registry) Close() error {
 	r.mu.RLock()
 	sessions := make([]*Session, 0, len(r.sessions))
@@ -369,7 +400,7 @@ func (r *Registry) Close() error {
 	r.mu.RUnlock()
 	var first error
 	for _, s := range sessions {
-		if err := s.closeWAL(); err != nil && first == nil {
+		if err := s.closeWAL(true); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -380,6 +411,131 @@ func (r *Registry) Close() error {
 // restore. It is handled like tail corruption: the valid prefix is
 // kept and the log is truncated before the offending record.
 var errReplayHalt = errors.New("service: replay halted")
+
+// replayRecord applies one WAL record to the session's labeler,
+// returning the vertex it labeled.
+func (s *Session) replayRecord(rec wal.Record) (graph.VertexID, label.Label, error) {
+	if rec.Named {
+		l, err := s.labeler.InsertNamed(rec.NamedEv)
+		return rec.NamedEv.V, l, err
+	}
+	l, err := s.labeler.Insert(rec.Ref)
+	return rec.Ref.V, l, err
+}
+
+// restoreArena rebuilds the session's store around an opened arena
+// snapshot. The arena becomes the store's immutable base layer — its
+// label bytes are served straight from the mapping, never decoded or
+// copied — and only the WAL tail past the arena's byte watermark is
+// replayed. With an empty tail (graceful shutdown) even the labeler
+// rebuild is deferred to the first ingest (see ensureLabelerLocked),
+// making restore O(open + index validation) regardless of session
+// size.
+//
+// ok=false (with err nil) reports an arena the log cannot back — ahead
+// of the durable log after an OS crash with Fsync off, or covering
+// records the labeler rejects — in which case the caller discards it
+// and replays the full log; the session's labeler and store are left
+// for replayFull to reset.
+func (s *Session) restoreArena(a *arena.Arena, walPath string, shards int) (ok bool, replayed, validSize int64, err error) {
+	var size int64
+	switch fi, err := os.Stat(walPath); {
+	case err == nil:
+		size = fi.Size()
+	case errors.Is(err, fs.ErrNotExist):
+		// no log at all: only an empty arena is consistent with it
+	default:
+		return false, 0, 0, err
+	}
+	if a.WALBytes() > size || a.Events() < 0 {
+		return false, 0, 0, nil // snapshot ahead of the log: discard
+	}
+	// Probe the tail before committing to the arena: how many records
+	// does the log hold past the snapshot's watermark?
+	tailN, tailValid, err := wal.ScanFrom(walPath, a.WALBytes(), nil)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	st, err := store.NewFromArena(s.g, s.cfg.Skeleton, shards, a)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if tailN == 0 {
+		// The snapshot covers the whole log — the common case after a
+		// graceful shutdown. Nothing to replay: the store serves the
+		// mapped bytes, and the labeler (only needed for future ingest)
+		// is rebuilt lazily on the first batch.
+		s.store = st
+		s.needLabelerReplay = a.Events() > 0
+		return true, a.Events(), tailValid, nil
+	}
+	// A non-empty tail needs labeler state for the whole prefix, so the
+	// log is replayed eagerly — but the arena still supplies the label
+	// bytes for the records it covers, so the covered prefix skips the
+	// encode and store staging that dominate a v1 restore.
+	s.store = st
+	n, vs, err := wal.Scan(walPath, func(i int, rec wal.Record) error {
+		v, l, ierr := s.replayRecord(rec)
+		if ierr != nil {
+			return fmt.Errorf("%w at record %d: %v", errReplayHalt, i, ierr)
+		}
+		if int64(i) < a.Events() {
+			return nil // the arena already holds this label
+		}
+		return s.store.StageOwned(v, s.store.Encode(l))
+	})
+	if errors.Is(err, errReplayHalt) {
+		if int64(n) < a.Events() {
+			// The log cannot reproduce the arena's covered prefix: the
+			// arena holds labels the truncated log will never re-issue.
+			// Discard it — replayFull resets the labeler and store.
+			return false, 0, 0, nil
+		}
+		err = nil // tail halt: keep the valid prefix, truncate the rest
+	}
+	if err != nil {
+		return false, 0, 0, err
+	}
+	s.store.Publish()
+	return true, int64(n), vs, nil
+}
+
+// replayFull rebuilds the session from the log alone (optionally with
+// a v1 snapshot supplying already-encoded label bytes for its covered
+// prefix) — the pre-arena restore path, kept for v1 data directories
+// and as the fallback when an arena snapshot is unusable. It resets
+// the labeler and store, so it can follow an abandoned arena attempt.
+func (s *Session) replayFull(walPath string, snap wal.Snapshot, shards int) (replayed, validSize int64, err error) {
+	s.labeler = core.NewExecutionLabeler(s.g, s.cfg.Skeleton, s.cfg.Mode)
+	s.store = store.NewSharded(s.g, s.cfg.Skeleton, shards)
+	s.needLabelerReplay = false
+	// Replay: every record rebuilds labeler state; the label bytes come
+	// from the snapshot where it applies and from re-encoding beyond
+	// it. Labels are staged as they replay and published once at the
+	// end — one view rebuild for the whole log instead of one per
+	// record.
+	n, vs, err := wal.Scan(walPath, func(i int, rec wal.Record) error {
+		v, l, ierr := s.replayRecord(rec)
+		if ierr != nil {
+			return fmt.Errorf("%w at record %d: %v", errReplayHalt, i, ierr)
+		}
+		enc, ok := snap.Labels[v]
+		if !ok || int64(i) >= snap.Events {
+			enc = s.store.Encode(l)
+		}
+		// Snapshot bytes: ReadSnapshot allocated enc for us alone, so it
+		// is handed over without another copy.
+		return s.store.StageOwned(v, enc)
+	})
+	if errors.Is(err, errReplayHalt) {
+		err = nil // keep the valid prefix, truncate the rest below
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	s.store.Publish()
+	return int64(n), vs, nil
+}
 
 // Restore scans dir for session directories and rebuilds each session
 // from its persisted specification, label snapshot and WAL: the full
@@ -508,63 +664,71 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 	}
 
 	walPath := filepath.Join(sdir, walFile)
-	// First pass: count replayable records, so a snapshot from beyond
-	// the durable log (OS crash with Fsync off) can be rejected before
-	// it pollutes the store.
-	total, _, err := wal.Scan(walPath, nil)
-	if err != nil {
-		return nil, err
-	}
-	snap, err := wal.ReadSnapshot(filepath.Join(sdir, snapFile))
-	switch {
-	case err == nil && snap.Events <= int64(total):
-		// usable: labels for the first snap.Events records come from here
-	case err == nil, errors.Is(err, fs.ErrNotExist), errors.Is(err, wal.ErrCorrupt):
-		snap = wal.Snapshot{} // absent, damaged or ahead of the log: full replay
-	default:
-		return nil, err
-	}
+	s.walPath = walPath
+	snapPath := filepath.Join(sdir, snapFile)
 
-	// Second pass: replay. Every record rebuilds labeler state; the
-	// label bytes come from the snapshot where it applies and from
-	// re-encoding beyond it. Labels are staged as they replay and
-	// published once at the end — one view rebuild for the whole log
-	// instead of one per record.
-	replayed, validSize, err := wal.Scan(walPath, func(i int, rec wal.Record) error {
-		var (
-			v graph.VertexID
-			l label.Label
-		)
-		var ierr error
-		if rec.Named {
-			v = rec.NamedEv.V
-			l, ierr = s.labeler.InsertNamed(rec.NamedEv)
-		} else {
-			v = rec.Ref.V
-			l, ierr = s.labeler.Insert(rec.Ref)
+	// The snapshot decides the restore path. A v2 (arena) file is
+	// mapped and adopted as the store's base layer — zero decoding,
+	// zero copying, and with an empty WAL tail even the labeler rebuild
+	// is deferred to the first ingest. A v1 file takes the legacy
+	// decode-and-replay path; a missing or damaged file of either
+	// version falls back to full log replay.
+	var (
+		replayed  int64
+		validSize int64
+		snapped   int64 // events the kept snapshot covers
+	)
+	a, aerr := arena.Open(snapPath)
+	switch {
+	case aerr == nil:
+		var ok bool
+		var arerr error
+		if ok, replayed, validSize, arerr = s.restoreArena(a, walPath, r.shardsFor(cfg)); arerr != nil {
+			a.Close()
+			return nil, arerr
 		}
-		if ierr != nil {
-			return fmt.Errorf("%w at record %d: %v", errReplayHalt, i, ierr)
+		if ok {
+			snapped = a.Events()
+			break
 		}
-		enc, ok := snap.Labels[v]
-		if !ok || int64(i) >= snap.Events {
-			enc = s.store.Encode(l)
+		// The arena is ahead of the log (possible only after an OS crash
+		// with Fsync off) or inconsistent with it: discard it and rebuild
+		// everything from the log alone.
+		a.Close()
+		if replayed, validSize, err = s.replayFull(walPath, wal.Snapshot{}, r.shardsFor(cfg)); err != nil {
+			return nil, err
 		}
-		// Snapshot bytes: ReadSnapshot allocated enc for us alone, so it
-		// is handed over without another copy.
-		return s.store.StageOwned(v, enc)
-	})
-	if errors.Is(err, errReplayHalt) {
-		err = nil // keep the valid prefix, truncate the rest below
+	case errors.Is(aerr, arena.ErrVersion):
+		// v1 snapshot. Count replayable records first, so a snapshot from
+		// beyond the durable log can be rejected before it pollutes the
+		// store; the session upgrades to v2 at its next snapshot.
+		total, _, err := wal.Scan(walPath, nil)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := wal.ReadSnapshot(snapPath)
+		switch {
+		case err == nil && snap.Events <= int64(total):
+			snapped = snap.Events
+		case err == nil, errors.Is(err, wal.ErrCorrupt):
+			snap = wal.Snapshot{} // damaged or ahead of the log: full replay
+		default:
+			return nil, err
+		}
+		if replayed, validSize, err = s.replayFull(walPath, snap, r.shardsFor(cfg)); err != nil {
+			return nil, err
+		}
+	case errors.Is(aerr, fs.ErrNotExist), errors.Is(aerr, arena.ErrCorrupt):
+		if replayed, validSize, err = s.replayFull(walPath, wal.Snapshot{}, r.shardsFor(cfg)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, aerr
 	}
-	if err != nil {
-		return nil, err
-	}
-	s.store.Publish()
 	s.vertices.Store(int64(s.store.Count()))
-	s.walEvents = int64(replayed)
-	if snap.Events <= s.walEvents {
-		s.snapEvents = snap.Events
+	s.walEvents = replayed
+	if snapped <= s.walEvents {
+		s.snapEvents = snapped
 	}
 
 	if r.durable != nil {

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/wal"
+)
+
+// TestWriteGoldenV1Fixture regenerates testdata/golden-v1 — the
+// committed v1-format data directory TestGoldenV1Restore guards. It is
+// a tool, not a test: it only runs with WFREACH_WRITE_GOLDEN=1, and it
+// should essentially never need re-running (the whole point of the
+// fixture is that old data keeps restoring unchanged; regenerate it
+// only if the fixture itself was wrong, never to make a failing compat
+// test pass).
+func TestWriteGoldenV1Fixture(t *testing.T) {
+	if os.Getenv("WFREACH_WRITE_GOLDEN") == "" {
+		t.Skip("fixture generator; set WFREACH_WRITE_GOLDEN=1 to run")
+	}
+	scratch := t.TempDir()
+	g := compileBuiltin(t, "BioAID")
+	events, r := genEvents(t, g, 250, 424242)
+
+	reg := durableReg(t, scratch, DurableOptions{SnapshotEvery: -1})
+	s, err := reg.Create("golden", g, Config{
+		Skeleton: skeleton.TCL, Mode: core.RModeDesignated, ID: "golden-v1-fixture",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, events, 50)
+	walEvents := s.walEvents
+	labels := s.store.Snapshot()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the snapshot into the v1 format the old code wrote.
+	if err := wal.WriteSnapshot(filepath.Join(scratch, "golden", snapFile), wal.Snapshot{Events: walEvents, Labels: labels}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bake expected reachability answers: every 7th × every 11th vertex.
+	var expect []byte
+	for i := 0; i < len(events); i += 7 {
+		for j := 0; j < len(events); j += 11 {
+			v, w := events[i].V, events[j].V
+			var rec [9]byte
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(v))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(w))
+			if r.Reaches(v, w) {
+				rec[8] = 1
+			}
+			expect = append(expect, rec[:]...)
+		}
+	}
+
+	dst := filepath.Join("testdata", "golden-v1")
+	if err := os.RemoveAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dst, "golden"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metaFile, specFile, walFile, snapFile} {
+		b, err := os.ReadFile(filepath.Join(scratch, "golden", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, "golden", name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dst, "expect.bin"), expect, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d events, %d expectations", dst, walEvents, len(expect)/9)
+}

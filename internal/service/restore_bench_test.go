@@ -1,0 +1,109 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfreach/internal/core"
+	"wfreach/internal/gen"
+	"wfreach/internal/graph"
+	"wfreach/internal/skeleton"
+	"wfreach/internal/spec"
+	"wfreach/internal/wal"
+)
+
+// buildRestoreFixture ingests size events into a durable session and
+// shuts down cleanly, leaving a snapshot covering the whole log. With
+// v1 set, the arena snapshot is rewritten in the legacy WFSNAP01
+// format, so Restore takes the decode-and-replay path.
+func buildRestoreFixture(b *testing.B, dir string, size int, v1 bool) int {
+	b.Helper()
+	sp, ok := Builtin("BioAID")
+	if !ok {
+		b.Fatal("no BioAID builtin")
+	}
+	g, err := spec.Compile(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, _, err := gen.GenerateEvents(g, gen.Options{TargetSize: size, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := NewDurableRegistry(DurableOptions{Dir: dir, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := reg.Create("r", g, Config{Skeleton: skeleton.TCL, Mode: core.RModeDesignated})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for lo := 0; lo < len(events); lo += 512 {
+		hi := min(lo+512, len(events))
+		if _, err := s.Append(events[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	walEvents := s.walEvents
+	walBytes := s.wal.AppendBytes()
+	var labels map[graph.VertexID][]byte
+	if v1 {
+		labels = s.store.Snapshot()
+	}
+	entries := s.store.SnapshotEntries()
+	if err := reg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "r", snapFile)
+	if v1 {
+		if err := wal.WriteSnapshot(path, wal.Snapshot{Events: walEvents, Labels: labels}); err != nil {
+			b.Fatal(err)
+		}
+	} else if err := writeArenaSnapshot(path, walEvents, walBytes, entries); err != nil {
+		b.Fatal(err)
+	}
+	return len(events)
+}
+
+// benchmarkRestore measures a full Registry.Restore of the fixture —
+// the cold-start path a daemon pays before it can serve its first
+// query — reporting labels/sec of recovered state.
+func benchmarkRestore(b *testing.B, size int, v1 bool) {
+	dir := b.TempDir()
+	n := buildRestoreFixture(b, dir, size, v1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, err := NewDurableRegistry(DurableOptions{Dir: dir, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Restore(dir); err != nil {
+			b.Fatal(err)
+		}
+		s, ok := reg.Get("r")
+		if !ok || int(s.Vertices()) != n {
+			b.Fatalf("restored %d vertices, want %d", s.Vertices(), n)
+		}
+		b.StopTimer()
+		reg.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "labels/sec")
+}
+
+func BenchmarkRestoreV1_100k(b *testing.B)    { benchmarkRestore(b, 100_000, true) }
+func BenchmarkRestoreArena_100k(b *testing.B) { benchmarkRestore(b, 100_000, false) }
+
+func BenchmarkRestoreV1_1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-label fixture; skipped in -short")
+	}
+	benchmarkRestore(b, 1_000_000, true)
+}
+
+func BenchmarkRestoreArena_1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-label fixture; skipped in -short")
+	}
+	benchmarkRestore(b, 1_000_000, false)
+}

@@ -102,16 +102,23 @@ type Session struct {
 	// Durable state (see durable.go); all but the immutable durable
 	// flag, dir and committer are guarded by ingestMu. A nil wal on a
 	// durable session means its log was closed or poisoned.
-	durable    bool
-	dir        string
-	wal        *wal.Log
-	committer  *wal.Committer // registry-wide group committer; nil on memory-only restore
-	walEvents  int64          // events appended to the log
-	snapEvents int64          // events covered by the last snapshot
-	snapEvery  int64
-	snapBusy   bool           // a snapshot write is in flight
-	snapWG     sync.WaitGroup // tracks the in-flight snapshot goroutine
-	ioErr      error          // first log failure; poisons further ingest
+	durable bool
+	dir     string
+	wal     *wal.Log
+	walPath string // the log file, for the deferred labeler replay
+	// needLabelerReplay marks a session restored from an arena snapshot
+	// with nothing to replay: its store serves the mapped labels, but
+	// the labeler has no execution state yet. The first ingest rebuilds
+	// it from the log (ensureLabelerLocked) — queries never need it.
+	// Guarded by ingestMu.
+	needLabelerReplay bool
+	committer         *wal.Committer // registry-wide group committer; nil on memory-only restore
+	walEvents         int64          // events appended to the log
+	snapEvents        int64          // events covered by the last snapshot
+	snapEvery         int64
+	snapBusy          bool           // a snapshot write is in flight
+	snapWG            sync.WaitGroup // tracks the in-flight snapshot goroutine
+	ioErr             error          // first log failure; poisons further ingest
 
 	// sealed, when non-empty, is the base URL of the node this session
 	// moved to (see Seal): ingest is permanently rejected with
@@ -371,7 +378,7 @@ func (r *Registry) Delete(name string) bool {
 	}
 	r.mu.Unlock()
 	if ok && s.durable {
-		s.closeWAL()
+		s.closeWAL(false) // the directory is about to be removed; no final snapshot
 		os.RemoveAll(s.dir)
 		r.mu.Lock()
 		delete(r.creating, name)
@@ -542,7 +549,10 @@ func (s *Session) AppendRecords(recs []wal.Record, frames [][]byte) (int, error)
 }
 
 // ingestBlockedLocked reports why ingest cannot proceed: a poisoned
-// log, or a seal left by a completed move. Called with ingestMu held.
+// log, or a seal left by a completed move. It also settles the
+// deferred labeler replay an arena restore left behind, so by the time
+// any batch reaches the labeler the labeler holds the full restored
+// execution state. Called with ingestMu held.
 func (s *Session) ingestBlockedLocked() error {
 	if s.ioErr != nil {
 		return s.ioErr
@@ -551,6 +561,54 @@ func (s *Session) ingestBlockedLocked() error {
 		return api.Errorf(api.CodeReadOnly, "session %q moved to another node", s.name).
 			WithDetail("%s", s.sealed)
 	}
+	return s.ensureLabelerLocked()
+}
+
+// errLabelerCaughtUp aborts the deferred replay scan once the labeler
+// has consumed exactly the records the restored store covers.
+var errLabelerCaughtUp = errors.New("service: labeler caught up")
+
+// ensureLabelerLocked rebuilds the labeler state an arena restore
+// deferred: the first walEvents records of the log are replayed
+// through the labeler only — no encoding, no store writes, the store
+// already serves those labels from the mapping. One-shot: after a
+// successful rebuild the flag clears and every later batch pays
+// nothing. A rebuild failure poisons ingest (the store holds labels
+// the labeler cannot account for); queries keep working. Called with
+// ingestMu held.
+func (s *Session) ensureLabelerLocked() error {
+	if !s.needLabelerReplay {
+		return nil
+	}
+	target := s.walEvents
+	n := int64(0)
+	_, _, err := wal.Scan(s.walPath, func(i int, rec wal.Record) error {
+		if n >= target {
+			return errLabelerCaughtUp
+		}
+		var ierr error
+		if rec.Named {
+			_, ierr = s.labeler.InsertNamed(rec.NamedEv)
+		} else {
+			_, ierr = s.labeler.Insert(rec.Ref)
+		}
+		if ierr != nil {
+			return fmt.Errorf("service: session %q: deferred replay at record %d: %w", s.name, i, ierr)
+		}
+		n++
+		return nil
+	})
+	if errors.Is(err, errLabelerCaughtUp) {
+		err = nil
+	}
+	if err == nil && n < target {
+		err = fmt.Errorf("service: session %q: log holds %d records, restored state covers %d", s.name, n, target)
+	}
+	if err != nil {
+		s.ioErr = fmt.Errorf("service: session %q: %w: %v", s.name, ErrDurability, err)
+		return s.ioErr
+	}
+	s.needLabelerReplay = false
 	return nil
 }
 
@@ -716,18 +774,19 @@ func (s *Session) Vertices() int64 { return s.vertices.Load() }
 // Stats snapshots the session without taking any lock.
 func (s *Session) Stats() Stats {
 	return Stats{
-		Name:         s.name,
-		ID:           s.cfg.ID,
-		Class:        s.g.Class().String(),
-		Skeleton:     s.cfg.Skeleton.String(),
-		Mode:         s.cfg.Mode.String(),
-		Vertices:     s.vertices.Load(),
-		Batches:      s.batches.Load(),
-		LabelBits:    s.store.Bits(),
-		SkeletonBits: s.labeler.Skeleton().Bits(),
-		PublishEpoch: s.store.Epoch(),
-		Shards:       s.store.ShardStats(),
-		Durable:      s.durable,
+		Name:          s.name,
+		ID:            s.cfg.ID,
+		Class:         s.g.Class().String(),
+		Skeleton:      s.cfg.Skeleton.String(),
+		Mode:          s.cfg.Mode.String(),
+		Vertices:      s.vertices.Load(),
+		ArenaVertices: int64(s.store.ArenaCount()),
+		Batches:       s.batches.Load(),
+		LabelBits:     s.store.Bits(),
+		SkeletonBits:  s.labeler.Skeleton().Bits(),
+		PublishEpoch:  s.store.Epoch(),
+		Shards:        s.store.ShardStats(),
+		Durable:       s.durable,
 	}
 }
 

@@ -26,6 +26,18 @@
 // batch writers (the service ingest pipeline, WAL replay) stage the
 // whole batch and publish once, so view rebuilding is amortized over
 // the batch.
+//
+// # Arena-backed stores
+//
+// A store restored from an arena snapshot ([NewFromArena],
+// [Store.AttachArena]) serves the snapshot's labels as slices
+// pointing directly into the mapped file — no per-label allocation,
+// no map building — with post-snapshot ingest staged into the normal
+// shard views layered on top. The aliasing is sound by the same
+// write-once contract that lets GetRaw share heap bytes: a published
+// label never changes, and a committed snapshot file is never
+// modified. The arena layer is immutable and lock-free like the shard
+// views, so the concurrency story is unchanged.
 package store
 
 import (
@@ -35,6 +47,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfreach/internal/arena"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
@@ -109,9 +122,18 @@ type Store struct {
 	skel   *skeleton.Scheme
 	shards []shard
 	mask   uint32
-	count  atomic.Int64 // published labels
-	bits   atomic.Int64 // published label bits
+	count  atomic.Int64 // published labels (arena included)
+	bits   atomic.Int64 // published label bits (arena included)
 	epoch  atomic.Int64 // global publish epoch
+
+	// arena, when non-nil, is the immutable base layer under every
+	// shard view: a mapped snapshot serving its labels as slices
+	// straight into the file (see AttachArena). Reads probe the shard
+	// views first — post-attach ingest lives there — then fall back to
+	// the arena. Labels are write-once and the two layers are disjoint
+	// by the staging dup checks, so the probe order is a performance
+	// choice, not a correctness one.
+	arena atomic.Pointer[arena.Arena]
 }
 
 // New creates an empty store for runs of the grammar with
@@ -119,6 +141,56 @@ type Store struct {
 // scheme.
 func New(g *spec.Grammar, kind skeleton.Kind) *Store {
 	return NewSharded(g, kind, 0)
+}
+
+// NewFromArena builds a store whose base layer is an already-open
+// arena snapshot: the mapped labels become readable immediately — no
+// per-label allocation, no map building — and later ingest stages
+// into the normal shard views layered over the arena. The store
+// shares the arena for its whole lifetime and never closes it; see
+// AttachArena for the ownership contract.
+func NewFromArena(g *spec.Grammar, kind skeleton.Kind, shards int, a *arena.Arena) (*Store, error) {
+	s := NewSharded(g, kind, shards)
+	if err := s.AttachArena(a); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AttachArena installs an arena snapshot as the store's immutable
+// base layer. The store must be empty (attach is a restore-time
+// operation, before any label is staged) and can carry at most one
+// arena. Ownership: the store aliases the arena's bytes in every
+// GetRaw/Snapshot result from then on, so the arena must stay open —
+// and its backing file must stay unmodified, which the write-once
+// snapshot contract guarantees — for the lifetime of the store and of
+// every byte slice it ever handed out. Callers must not Close the
+// arena; it is released with the process.
+func (s *Store) AttachArena(a *arena.Arena) error {
+	if a == nil {
+		return fmt.Errorf("store: nil arena")
+	}
+	if s.count.Load() != 0 {
+		return fmt.Errorf("store: arena must be attached to an empty store (have %d labels)", s.count.Load())
+	}
+	if !s.arena.CompareAndSwap(nil, a) {
+		return fmt.Errorf("store: arena already attached")
+	}
+	s.count.Add(int64(a.Count()))
+	s.bits.Add(a.LabelBytes() * 8)
+	return nil
+}
+
+// Arena returns the attached arena, or nil.
+func (s *Store) Arena() *arena.Arena { return s.arena.Load() }
+
+// ArenaCount returns the number of labels served from the arena base
+// layer (zero when none is attached).
+func (s *Store) ArenaCount() int {
+	if a := s.arena.Load(); a != nil {
+		return a.Count()
+	}
+	return 0
 }
 
 // NewSharded is New with an explicit shard count. The count is rounded
@@ -217,7 +289,7 @@ func (s *Store) PutEncodedOwned(v graph.VertexID, enc []byte) error {
 func (s *Store) StageOwned(v graph.VertexID, enc []byte) error {
 	sh := s.shardOf(v)
 	sh.mu.Lock()
-	err := sh.stageLocked(v, enc)
+	err := s.stageLocked(sh, v, enc)
 	sh.mu.Unlock()
 	return err
 }
@@ -245,7 +317,7 @@ func (s *Store) AppendOwned(entries []Entry) error {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, e := range b {
-			if err := sh.stageLocked(e.V, e.Enc); err != nil {
+			if err := s.stageLocked(sh, e.V, e.Enc); err != nil {
 				sh.mu.Unlock()
 				return err
 			}
@@ -256,12 +328,19 @@ func (s *Store) AppendOwned(entries []Entry) error {
 }
 
 // stageLocked records one pending label. Called with sh.mu held.
-func (sh *shard) stageLocked(v graph.VertexID, enc []byte) error {
+// Labels are write-once across every layer: staged, published, and
+// arena-resident vertices all reject a second write.
+func (s *Store) stageLocked(sh *shard, v graph.VertexID, enc []byte) error {
 	if _, dup := sh.pending[v]; dup {
 		return fmt.Errorf("store: vertex %d already stored", v)
 	}
 	if _, dup := sh.view.Load().get(v); dup {
 		return fmt.Errorf("store: vertex %d already stored", v)
+	}
+	if a := s.arena.Load(); a != nil {
+		if _, dup := a.Get(v); dup {
+			return fmt.Errorf("store: vertex %d already stored", v)
+		}
 	}
 	sh.pending[v] = enc
 	sh.pendingBits += len(enc) * 8
@@ -348,11 +427,24 @@ func (s *Store) Get(v graph.VertexID) (label.Label, bool, error) {
 
 // GetRaw returns the published encoded label bytes of v, without
 // taking any lock. The returned slice is the store's own backing
-// array — callers must treat it as immutable (labels are write-once,
-// so the bytes never change after publication). This is the read path
-// concurrent services build on: fetch the two byte strings from the
-// shard views, then decode and evaluate π with ReachBytes.
+// array — or, on an arena-backed store, a slice pointing straight
+// into the mapped snapshot file — and callers must treat it as
+// immutable (labels are write-once, so the bytes never change after
+// publication). This is the read path concurrent services build on:
+// fetch the two byte strings from the shard views, then decode and
+// evaluate π with ReachBytes.
 func (s *Store) GetRaw(v graph.VertexID) ([]byte, bool) {
+	// Arena first: a vertex is never both arena-resident and staged
+	// (stage rejects duplicates of arena vertices), so the probe order
+	// is free to favor the common case. On an arena-backed store most
+	// labels live in the arena and its dense lookup is one bounds
+	// check; on a heap store the arena pointer is nil and this is a
+	// single predictable branch.
+	if a := s.arena.Load(); a != nil {
+		if enc, ok := a.Get(v); ok {
+			return enc, true
+		}
+	}
 	return s.shardOf(v).view.Load().get(v)
 }
 
@@ -406,6 +498,23 @@ func (s *Store) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
 		return nil, fmt.Errorf("store: vertex %d: %w", v, err)
 	}
 	var out []graph.VertexID
+	var scanErr error
+	if a := s.arena.Load(); a != nil {
+		a.Range(func(w graph.VertexID, bw []byte) bool {
+			lw, err := s.codec.Decode(bw)
+			if err != nil {
+				scanErr = fmt.Errorf("store: vertex %d: %w", w, err)
+				return false
+			}
+			if core.Pi(s.skel, lw, lv) {
+				out = append(out, w)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
 	for i := range s.shards {
 		for _, m := range s.shards[i].view.Load().chunks {
 			for w, bw := range m {
@@ -424,15 +533,49 @@ func (s *Store) Lineage(v graph.VertexID) ([]graph.VertexID, error) {
 }
 
 // Snapshot returns a copy of the published vertex → encoded-label map,
-// merged across shards, without taking any lock. The byte slices are
-// shared with the store (they are write-once); only the map itself is
-// fresh. Concurrent publishes may or may not be included, shard by
-// shard — any such snapshot is a valid published prefix per shard.
+// merged across shards (and the arena base layer, when one is
+// attached), without taking any lock. The byte slices are shared with
+// the store (they are write-once); only the map itself is fresh.
+// Concurrent publishes may or may not be included, shard by shard —
+// any such snapshot is a valid published prefix per shard.
 func (s *Store) Snapshot() map[graph.VertexID][]byte {
 	out := make(map[graph.VertexID][]byte, s.Count())
+	if a := s.arena.Load(); a != nil {
+		a.Range(func(v graph.VertexID, enc []byte) bool {
+			out[v] = enc
+			return true
+		})
+	}
 	for i := range s.shards {
 		for _, m := range s.shards[i].view.Load().chunks {
 			maps.Copy(out, m)
+		}
+	}
+	return out
+}
+
+// SnapshotEntries returns the published labels as a flat entry slice
+// — arena base layer first, then every shard's chunks — without
+// taking any lock and without building a map: this is what the
+// snapshot writer iterates, so snapshotting a session allocates one
+// slice of headers instead of a second copy of the whole label map.
+// The Enc slices alias the store's (or the mapped arena's) bytes and
+// must be treated as immutable; entries are in no particular order.
+// The consistency contract matches Snapshot: each shard contributes
+// whatever it last published.
+func (s *Store) SnapshotEntries() []Entry {
+	out := make([]Entry, 0, s.Count())
+	if a := s.arena.Load(); a != nil {
+		a.Range(func(v graph.VertexID, enc []byte) bool {
+			out = append(out, Entry{V: v, Enc: enc})
+			return true
+		})
+	}
+	for i := range s.shards {
+		for _, m := range s.shards[i].view.Load().chunks {
+			for v, enc := range m {
+				out = append(out, Entry{V: v, Enc: enc})
+			}
 		}
 	}
 	return out

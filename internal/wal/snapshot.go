@@ -6,7 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"wfreach/internal/graph"
 )
@@ -42,7 +42,7 @@ func WriteSnapshot(path string, s Snapshot) error {
 	for v := range s.Labels {
 		vs = append(vs, v)
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(vs)
 	for _, v := range vs {
 		enc := s.Labels[v]
 		body = binary.AppendUvarint(body, uint64(v))
@@ -106,7 +106,10 @@ func ReadSnapshot(path string) (Snapshot, error) {
 	if err != nil {
 		return Snapshot{}, err
 	}
-	if count > uint64(len(body)) { // each entry takes ≥ 2 bytes
+	// Each entry takes ≥ 2 bytes (one vertex varint byte, one length
+	// byte), so a plausible count is at most half the remaining body —
+	// anything larger is a corrupt header trying to pre-size a huge map.
+	if count > uint64(len(body))/2 {
 		return Snapshot{}, fmt.Errorf("%w: snapshot label count %d exceeds file", ErrCorrupt, count)
 	}
 	s := Snapshot{Events: int64(events), Labels: make(map[graph.VertexID][]byte, count)}

@@ -238,14 +238,34 @@ func DecodeRecord(b []byte) (Record, error) {
 // file scans as empty. An error from fn aborts the scan and is
 // returned as-is.
 func Scan(path string, fn func(i int, rec Record) error) (n int, validSize int64, err error) {
+	return ScanFrom(path, 0, fn)
+}
+
+// ScanFrom is Scan starting at a byte offset — the tail scan an arena
+// restore uses: the snapshot header records the WAL byte position its
+// label prefix covers (Meta.WALBytes), so recovery skips straight past
+// the covered prefix instead of re-reading gigabytes of already-
+// snapshotted records. offset must be a frame boundary previously
+// reported by Scan or AppendBytes; an offset past the end of the file
+// scans as empty with validSize == offset, which callers treat as "the
+// snapshot is ahead of this log" and fall back to a full scan. The
+// record indexes passed to fn start at 0 at the offset; validSize is
+// absolute (offset + valid tail bytes).
+func ScanFrom(path string, offset int64, fn func(i int, rec Record) error) (n int, validSize int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, 0, nil
+		return 0, offset, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: %w", err)
+		return 0, offset, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
+	validSize = offset
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return 0, offset, fmt.Errorf("wal: %w", err)
+		}
+	}
 
 	br := bufio.NewReader(f)
 	var frame [8]byte
@@ -315,6 +335,11 @@ type Log struct {
 	durableSeq atomic.Int64
 	closedFlag atomic.Bool
 
+	// appendBytes is the file size after the last append — the frame
+	// boundary an arena snapshot records (Meta.WALBytes) so restore can
+	// ScanFrom the tail only. Seeded with validSize at Open.
+	appendBytes atomic.Int64
+
 	// notifyMu guards notifyCh, the broadcast channel closed whenever
 	// durableSeq advances or the log closes.
 	notifyMu sync.Mutex
@@ -325,6 +350,11 @@ type Log struct {
 // (counting records already in the file at Open) — the sequence to
 // pass to Committer.Commit to make the log durable up to this point.
 func (l *Log) AppendSeq() int64 { return l.appendSeq.Load() }
+
+// AppendBytes returns the log's byte length after the last append
+// (buffered or flushed) — always a frame boundary, and therefore a
+// valid ScanFrom offset for a snapshot taken at this point.
+func (l *Log) AppendBytes() int64 { return l.appendBytes.Load() }
 
 // DurableSeq returns the sequence of the last record known to be
 // flushed (and fsynced, as the log is configured) — the committed
@@ -402,6 +432,7 @@ func Open(path string, validSize int64, records int64, fsync bool) (*Log, error)
 	l := &Log{f: f, w: bufio.NewWriter(f), path: path, fsync: fsync}
 	l.appendSeq.Store(records)
 	l.durableSeq.Store(records)
+	l.appendBytes.Store(validSize)
 	return l, nil
 }
 
@@ -424,6 +455,7 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.appendSeq.Add(1)
+	l.appendBytes.Add(int64(len(l.buf)))
 	return nil
 }
 
@@ -451,6 +483,7 @@ func (l *Log) AppendRaw(frame []byte) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.appendSeq.Add(1)
+	l.appendBytes.Add(int64(len(frame)))
 	return nil
 }
 

@@ -315,3 +315,123 @@ func TestAppendRejectsOversizedRecord(t *testing.T) {
 		t.Fatalf("log after rejected append: %+v", got)
 	}
 }
+
+// TestScanFromBoundaries appends records one at a time, recording the
+// AppendBytes watermark after each, then scans from every watermark
+// and checks the scan yields exactly the records appended after it —
+// the contract the arena restore's tail replay depends on.
+func TestScanFromBoundaries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	recs := testRecords()
+	l, err := Open(path, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.AppendBytes() != 0 {
+		t.Fatalf("fresh log AppendBytes = %d, want 0", l.AppendBytes())
+	}
+	marks := []int64{0}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		marks = append(marks, l.AppendBytes())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks[len(marks)-1] != fi.Size() {
+		t.Fatalf("final AppendBytes %d, file size %d", marks[len(marks)-1], fi.Size())
+	}
+	for k, off := range marks {
+		var got []Record
+		n, size, err := ScanFrom(path, off, func(i int, rec Record) error {
+			if i != len(got) {
+				t.Fatalf("offset %d: record index %d, want %d", off, i, len(got))
+			}
+			got = append(got, rec)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if n != len(recs)-k || !reflect.DeepEqual(got, append([]Record(nil), recs[k:]...)) {
+			t.Fatalf("offset %d: scanned %d records, want suffix of %d", off, n, len(recs)-k)
+		}
+		if size != fi.Size() {
+			t.Fatalf("offset %d: validSize %d, want %d (absolute)", off, size, fi.Size())
+		}
+	}
+}
+
+// TestScanFromPastEOF checks the "snapshot ahead of this log" probe:
+// an offset beyond the file scans empty and echoes the offset back as
+// validSize, rather than erroring or misparsing mid-frame bytes.
+func TestScanFromPastEOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	writeLog(t, path, testRecords())
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := fi.Size() + 1000
+	n, size, err := ScanFrom(path, off, func(i int, rec Record) error {
+		t.Fatalf("unexpected record %d at offset past EOF", i)
+		return nil
+	})
+	if err != nil || n != 0 || size != off {
+		t.Fatalf("past EOF: n=%d size=%d err=%v, want 0/%d/nil", n, size, err, off)
+	}
+	// A missing file behaves the same way for any offset.
+	n, size, err = ScanFrom(filepath.Join(t.TempDir(), "nope.wal"), 42, nil)
+	if err != nil || n != 0 || size != 42 {
+		t.Fatalf("missing file: n=%d size=%d err=%v, want 0/42/nil", n, size, err)
+	}
+}
+
+// TestAppendBytesResume reopens a log at its valid size and checks the
+// watermark is seeded from it, so offsets recorded before a restart
+// keep meaning the same byte positions after it.
+func TestAppendBytesResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	recs := testRecords()
+	writeLog(t, path, recs[:3])
+	_, valid, err := Scan(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path, valid, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.AppendBytes() != valid {
+		t.Fatalf("reopened AppendBytes = %d, want %d", l.AppendBytes(), valid)
+	}
+	if err := l.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if l.AppendBytes() <= valid {
+		t.Fatalf("AppendBytes did not advance past %d", valid)
+	}
+	after := l.AppendBytes()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, _, err := ScanFrom(path, valid, func(i int, rec Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs[3:4]) {
+		t.Fatalf("tail after resume: got %+v, want %+v", got, recs[3:4])
+	}
+	if fi, _ := os.Stat(path); fi.Size() != after {
+		t.Fatalf("file size %d, AppendBytes %d", fi.Size(), after)
+	}
+}
