@@ -53,6 +53,9 @@ type (
 	CreateSessionRequest = api.CreateSessionRequest
 	// SessionStats is a point-in-time snapshot of one session.
 	SessionStats = api.SessionStats
+	// SessionIntegrity is a session's tamper-evidence anchors: the
+	// WAL hash-chain head and the last snapshot's Merkle root.
+	SessionIntegrity = api.SessionIntegrity
 	// EventsResponse reports how far an ingest request got.
 	EventsResponse = api.EventsResponse
 	// ReachPair is one reachability question.
@@ -325,6 +328,19 @@ func (c *Client) Sessions(ctx context.Context) ([]SessionStats, error) {
 func (c *Client) Session(ctx context.Context, name string) (SessionStats, error) {
 	var st SessionStats
 	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(name), nil, &st, true)
+	return st, err
+}
+
+// Integrity returns the session's tamper-evidence anchors: the hash
+// chain head over its WAL at the committed sequence, and — when an
+// integrity-stamped snapshot exists — the snapshot's Merkle root and
+// watermark. Record the anchors externally to make tampering of the
+// server's on-disk history detectable by wfverify. A session with no
+// WAL (memory-only, or one whose log failed) answers with a typed
+// error carrying CodeNotDurable.
+func (c *Client) Integrity(ctx context.Context, session string) (SessionIntegrity, error) {
+	var st SessionIntegrity
+	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(session)+"/integrity", nil, &st, true)
 	return st, err
 }
 

@@ -19,10 +19,19 @@
 // batch-reach roundtrip, and deletes the session unless -keep is
 // given. -stats then reports the server's session statistics, and
 // -verify samples server answers against local BFS ground truth.
+//
+// With -addr and -integrity, wflabel instead audits an existing
+// session: it prints the session's tamper-evidence anchors (the WAL
+// hash-chain head and, once a stamped snapshot exists, its Merkle
+// root) in exactly the form `wfverify -head` consumes, and exits —
+// nothing is created, ingested, or deleted:
+//
+//	wflabel -addr http://127.0.0.1:8080 -session prod -integrity
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +61,7 @@ func main() {
 	addr := flag.String("addr", "", "wfserve base URL: label on the server through the client SDK instead of in process")
 	session := flag.String("session", "wflabel", "with -addr: session name to create")
 	keep := flag.Bool("keep", false, "with -addr: leave the session on the server when done")
+	integ := flag.Bool("integrity", false, "with -addr: print the named session's tamper-evidence anchors and exit (no run, no ingest)")
 	var queries queryList
 	flag.Var(&queries, "query", "reachability query \"v,w\" (repeatable)")
 	flag.Parse()
@@ -59,6 +69,18 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "wflabel: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Integrity audit mode: query an existing session's anchors and
+	// exit — no run generation, no ingest, nothing created or deleted.
+	if *integ {
+		if *addr == "" {
+			fail(errors.New("-integrity requires -addr"))
+		}
+		if err := printIntegrity(*addr, *session, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	s := wfreach.RunningExample()
@@ -177,6 +199,29 @@ type remoteConfig struct {
 	stats   bool
 	verify  bool
 	queries queryList
+}
+
+// printIntegrity fetches and prints an existing session's
+// tamper-evidence anchors in exactly the form wfverify -head consumes.
+// A server without a hash-chained log for the session (memory-only, or
+// data predating the chain) answers a typed not_durable error, which
+// is reported as unavailability, not failure.
+func printIntegrity(addr, session string, out io.Writer) error {
+	st, err := client.New(addr).Integrity(context.Background(), session)
+	var ae *client.Error
+	switch {
+	case errors.As(err, &ae) && ae.Code == client.CodeNotDurable:
+		fmt.Fprintf(out, "integrity: unavailable (%s)\n", ae.Message)
+		return nil
+	case err != nil:
+		return fmt.Errorf("integrity: %w", err)
+	}
+	fmt.Fprintf(out, "integrity: chain %s at seq %d", st.ChainHead, st.WALSeq)
+	if st.MerkleRoot != "" {
+		fmt.Fprintf(out, ", snapshot merkle %s at %d", st.MerkleRoot, st.SnapshotWatermark)
+	}
+	fmt.Fprintf(out, "\n  anchor for: wfverify -data <dir> -session %s -head %s\n", session, st.ChainHead)
+	return nil
 }
 
 // remoteVerifySample is how many random pairs -verify checks against

@@ -199,4 +199,65 @@ func TestWflabelRemoteMode(t *testing.T) {
 	if !ok || kept.Vertices() == 0 {
 		t.Fatal("kept session missing or empty")
 	}
+
+	// -integrity is an audit of an existing session: a memory-only
+	// server has no chain, which is reported as unavailability (exit
+	// 0), not an error.
+	out, err = exec.Command(bin, "-addr", srv.URL, "-session", "kept", "-integrity").CombinedOutput()
+	if err != nil {
+		t.Fatalf("integrity mode on a memory server: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "integrity: unavailable") {
+		t.Fatalf("output missing unavailability notice:\n%s", out)
+	}
+}
+
+// TestWflabelIntegrityMode audits a durable session: the printed
+// anchor line must carry the chain head in wfverify -head form, and
+// the audited session must be left exactly as it was.
+func TestWflabelIntegrityMode(t *testing.T) {
+	reg, err := wfreach.NewDurableRegistry(wfreach.DurableOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	srv := httptest.NewServer(wfreach.NewServiceHandler(reg))
+	defer srv.Close()
+	bin := buildOnce(t)
+
+	// Seed a session through the normal remote workflow.
+	if out, err := exec.Command(bin, "-size", "150", "-seed", "4",
+		"-addr", srv.URL, "-session", "audited", "-keep").CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s, ok := reg.Get("audited")
+	if !ok {
+		t.Fatal("audited session missing")
+	}
+	before := s.Vertices()
+
+	out, err := exec.Command(bin, "-addr", srv.URL, "-session", "audited", "-integrity").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	got := string(out)
+	_, head, okc := s.ChainState()
+	if !okc {
+		t.Fatal("durable session has no chain")
+	}
+	for _, want := range []string{
+		"integrity: chain " + head.String(),
+		"wfverify -data <dir> -session audited -head " + head.String(),
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "streamed") || s.Vertices() != before {
+		t.Fatalf("audit mode touched the session:\n%s", got)
+	}
+	// Auditing a session that does not exist is an error.
+	if out, err := exec.Command(bin, "-addr", srv.URL, "-session", "nope", "-integrity").CombinedOutput(); err == nil {
+		t.Fatalf("integrity mode invented a session:\n%s", out)
+	}
 }

@@ -196,6 +196,31 @@ type ListSessionsResponse struct {
 	Sessions []SessionStats `json:"sessions"`
 }
 
+// SessionIntegrity is the body of GET /v1/sessions/{name}/integrity:
+// the session's tamper-evidence anchors. An external auditor that
+// periodically fetches and stores this answer off-system can later
+// prove or refute the server's entire event history with cmd/wfverify
+// — the chain head commits to every WAL byte up to WALSeq, and the
+// Merkle root commits to every label the last snapshot served.
+// Sessions without a hash-chained log (memory-only, or data predating
+// the chain) answer a typed CodeNotDurable error instead: integrity
+// is unavailable there, not violated.
+type SessionIntegrity struct {
+	// Session is the session's registry name.
+	Session string `json:"session"`
+	// ChainHead is the WAL frame hash-chain head (lowercase hex
+	// SHA-256) covering records [1, WALSeq].
+	ChainHead string `json:"chain_head"`
+	// WALSeq is the sequence of the last record the chain head covers
+	// — every event appended at the time of the answer.
+	WALSeq int64 `json:"wal_seq"`
+	// MerkleRoot is the Merkle root over the label extents of the last
+	// integrity-stamped snapshot (empty until one exists).
+	MerkleRoot string `json:"merkle_root,omitempty"`
+	// SnapshotWatermark is the WAL record count that snapshot covers.
+	SnapshotWatermark int64 `json:"snapshot_watermark,omitempty"`
+}
+
 // EventsRequest is the JSON body of POST /v1/sessions/{name}/events.
 type EventsRequest struct {
 	Events []Event `json:"events"`

@@ -50,6 +50,12 @@ type ClusterOverride struct {
 	// the move is complete only once Node's copy has applied through
 	// it. Zero on operator-pinned overrides and tombstones.
 	FinalSeq int64 `json:"final_seq,omitempty"`
+	// ChainHead is the source's WAL hash-chain head at FinalSeq (hex),
+	// recorded at release so the target — a resumed drain included —
+	// can prove the history it applied is the history that was sealed
+	// before it starts serving. Empty when the source had no chain
+	// (memory-only session).
+	ChainHead string `json:"chain_head,omitempty"`
 	// Deleted marks a tombstone: the session was deleted at its owner
 	// and places by hash again. Tombstones gossip like live overrides
 	// (higher version wins), so peers drop their stale entries instead
@@ -175,6 +181,11 @@ type ReleaseRequest struct {
 
 // ReleaseResponse acknowledges a handoff.
 type ReleaseResponse struct {
+	// ChainHead is the sealed session's WAL hash-chain head at
+	// FinalSeq (hex; empty when the owner has no chain). The target
+	// re-verifies its own chain against it after the drain, before the
+	// override flips routing to it.
+	ChainHead string `json:"chain_head,omitempty"`
 	// FinalSeq is the sealed session's last appended WAL sequence; the
 	// handoff is complete once the target has applied through it.
 	FinalSeq int64 `json:"final_seq"`

@@ -50,15 +50,36 @@ import (
 	"slices"
 
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 )
 
 // Magic identifies an arena snapshot file (format version 2 of the
 // labels.snap lineage started by internal/wal's WFSNAP01).
 const Magic = "WFSNAP02"
 
+// MagicV3 identifies the integrity-stamped format: the v2 layout with
+// 64 extra header bytes committing to the label extents (a Merkle
+// root, see internal/integrity) and to the covered WAL prefix (the
+// frame hash-chain head at the watermark):
+//
+//	[0:8)     magic "WFSNAP03" (ASCII)
+//	[8:44)    events, walBytes, count, labelBytes, labelCRC — as v2
+//	[44:76)   merkleRoot — Merkle root over the label extents, in
+//	          index order (leaf = SHA-256(0x00 || vertex || label))
+//	[76:108)  chainHead  — WAL hash-chain head at record `events`
+//	[108:112) uint32 LE indexCRC — CRC-32 (IEEE) of header[8:108) ++ index
+//	then index and label region exactly as v2.
+//
+// The index CRC covers the integrity fields, so a flipped header byte
+// is caught structurally at Open; a *consistently* rewritten header is
+// caught by cross-checking merkleRoot against the labels and chainHead
+// against the WAL, which is what restore and wfverify do.
+const MagicV3 = "WFSNAP03"
+
 const (
-	headerSize = 48
-	entrySize  = 16
+	headerSize   = 48
+	headerSizeV3 = 112
+	entrySize    = 16
 )
 
 // maxCount caps the entry count Open accepts, so a corrupt header
@@ -89,6 +110,14 @@ type Meta struct {
 	// WALBytes is the byte offset of the end of the covered prefix in
 	// the session's WAL — where a restore resumes scanning.
 	WALBytes int64
+	// ChainHead is the WAL frame hash-chain head at record Events —
+	// the anchor that ties the snapshot to the exact log prefix it
+	// covers. Meaningful only when HasChain is set.
+	ChainHead integrity.Head
+	// HasChain selects the WFSNAP03 format; without it Write emits
+	// WFSNAP02 bytes unchanged and the snapshot carries no integrity
+	// metadata.
+	HasChain bool
 }
 
 // Arena is an open snapshot: the raw file bytes (mapped on linux,
@@ -101,6 +130,10 @@ type Arena struct {
 	meta   Meta
 	count  int
 	mapped bool
+
+	// merkleRoot is the header's label-extent Merkle root (v3 only;
+	// meaningful when meta.HasChain is set, like meta.ChainHead).
+	merkleRoot integrity.Head
 
 	// dense is set when the vertex ids are exactly [minV, minV+count),
 	// which run vertices nearly always are — lookups then skip the
@@ -140,7 +173,16 @@ func parse(data []byte, mapped bool) (*Arena, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
 	}
-	if string(data[:8]) != Magic {
+	hdrSize := headerSize
+	v3 := false
+	switch string(data[:8]) {
+	case Magic:
+	case MagicV3:
+		hdrSize, v3 = headerSizeV3, true
+		if len(data) < hdrSize {
+			return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte v3 header", ErrCorrupt, len(data), hdrSize)
+		}
+	default:
 		if string(data[:6]) == Magic[:6] { // a WFSNAP file of another version
 			return nil, fmt.Errorf("%w: magic %q", ErrVersion, data[:8])
 		}
@@ -150,19 +192,19 @@ func parse(data []byte, mapped bool) (*Arena, error) {
 	walBytes := binary.LittleEndian.Uint64(data[16:24])
 	count := binary.LittleEndian.Uint64(data[24:32])
 	labelBytes := binary.LittleEndian.Uint64(data[32:40])
-	indexCRC := binary.LittleEndian.Uint32(data[44:48])
+	indexCRC := binary.LittleEndian.Uint32(data[hdrSize-4 : hdrSize])
 	if events > 1<<62 || walBytes > 1<<62 || count > maxCount {
 		return nil, fmt.Errorf("%w: implausible header (events=%d walBytes=%d count=%d)", ErrCorrupt, events, walBytes, count)
 	}
-	want := uint64(headerSize) + count*entrySize + labelBytes
+	want := uint64(hdrSize) + count*entrySize + labelBytes
 	if uint64(len(data)) != want {
 		return nil, fmt.Errorf("%w: file is %d bytes, header describes %d", ErrCorrupt, len(data), want)
 	}
-	index := data[headerSize : headerSize+count*entrySize]
-	labels := data[headerSize+count*entrySize:]
+	index := data[uint64(hdrSize) : uint64(hdrSize)+count*entrySize]
+	labels := data[uint64(hdrSize)+count*entrySize:]
 
 	h := crc32.NewIEEE()
-	h.Write(data[8:40])
+	h.Write(data[8 : hdrSize-4])
 	h.Write(index)
 	if h.Sum32() != indexCRC {
 		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
@@ -176,9 +218,13 @@ func parse(data []byte, mapped bool) (*Arena, error) {
 		data:   data,
 		index:  index,
 		labels: labels,
-		meta:   Meta{Events: int64(events), WALBytes: int64(walBytes)},
+		meta:   Meta{Events: int64(events), WALBytes: int64(walBytes), HasChain: v3},
 		count:  int(count),
 		mapped: mapped,
+	}
+	if v3 {
+		copy(a.merkleRoot[:], data[44:76])
+		copy(a.meta.ChainHead[:], data[76:108])
 	}
 	var next uint64
 	prevV := int64(-1)
@@ -322,6 +368,36 @@ func (a *Arena) Verify() error {
 	return nil
 }
 
+// Integrity returns the snapshot's integrity anchors — the Merkle root
+// over the label extents and the WAL chain head at the watermark. ok
+// is false for v2 snapshots, which carry neither.
+func (a *Arena) Integrity() (merkleRoot, chainHead integrity.Head, ok bool) {
+	return a.merkleRoot, a.meta.ChainHead, a.meta.HasChain
+}
+
+// VerifyMerkle recomputes the Merkle root over the label extents and
+// checks it against the header. Unlike the label-region CRC (Verify),
+// the root also binds each extent to its vertex id and position, and
+// it is the value the integrity API exposes to external anchors — a
+// snapshot whose labels were rewritten CRC-consistently still fails
+// here unless the header (and therefore the anchored root) was
+// rewritten too. A v2 snapshot has no root and trivially passes.
+// Like Verify, it faults in every page of the label region.
+func (a *Arena) VerifyMerkle() error {
+	if !a.meta.HasChain {
+		return nil
+	}
+	m := integrity.NewMerkle()
+	for i := 0; i < a.count; i++ {
+		v, enc := a.entry(i)
+		m.Add(m.LabelLeaf(uint32(v), enc))
+	}
+	if m.Root() != a.merkleRoot {
+		return fmt.Errorf("%w: label Merkle root mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
 // Close releases the mapping. It must not be called while any caller
 // can still hold slices into the arena — a store serving an arena
 // keeps it for the store's lifetime and never closes it.
@@ -342,9 +418,16 @@ func (a *Arena) Close() error {
 // writer, synced, and renamed into place, like the v1 writer. Nothing
 // is re-encoded and no label byte is copied: snapshotting a session
 // costs one pass over the entries plus the file write itself.
-func Write(path string, meta Meta, entries []Entry) error {
+//
+// With meta.HasChain set the WFSNAP03 format is written: the Merkle
+// root over the entries is computed during the same pass, stamped into
+// the header next to meta.ChainHead, and returned so the caller can
+// expose it without reopening the file. Without it, the emitted bytes
+// are WFSNAP02, identical to previous releases, and the returned root
+// is zero.
+func Write(path string, meta Meta, entries []Entry) (integrity.Head, error) {
 	if meta.Events < 0 || meta.WALBytes < 0 {
-		return fmt.Errorf("arena: negative watermark (events=%d walBytes=%d)", meta.Events, meta.WALBytes)
+		return integrity.Head{}, fmt.Errorf("arena: negative watermark (events=%d walBytes=%d)", meta.Events, meta.WALBytes)
 	}
 	slices.SortFunc(entries, func(a, b Entry) int {
 		switch {
@@ -358,13 +441,17 @@ func Write(path string, meta Meta, entries []Entry) error {
 	})
 	var labelBytes uint64
 	labelCRC := crc32.NewIEEE()
+	var merkle *integrity.Merkle
+	if meta.HasChain {
+		merkle = integrity.NewMerkle()
+	}
 	index := make([]byte, len(entries)*entrySize)
 	for i, e := range entries {
 		if i > 0 && e.V == entries[i-1].V {
-			return fmt.Errorf("arena: vertex %d duplicated", e.V)
+			return integrity.Head{}, fmt.Errorf("arena: vertex %d duplicated", e.V)
 		}
 		if e.V < 0 {
-			return fmt.Errorf("arena: negative vertex id %d", e.V)
+			return integrity.Head{}, fmt.Errorf("arena: negative vertex id %d", e.V)
 		}
 		ix := index[i*entrySize:]
 		binary.LittleEndian.PutUint32(ix[0:4], uint32(e.V))
@@ -372,26 +459,43 @@ func Write(path string, meta Meta, entries []Entry) error {
 		binary.LittleEndian.PutUint64(ix[8:16], labelBytes)
 		labelBytes += uint64(len(e.Enc))
 		labelCRC.Write(e.Enc)
+		if merkle != nil {
+			merkle.Add(merkle.LabelLeaf(uint32(e.V), e.Enc))
+		}
 	}
 
-	var hdr [headerSize]byte
-	copy(hdr[:8], Magic)
+	var root integrity.Head
+	hdrSize := headerSize
+	if meta.HasChain {
+		hdrSize = headerSizeV3
+		root = merkle.Root()
+	}
+	hdr := make([]byte, hdrSize)
+	if meta.HasChain {
+		copy(hdr[:8], MagicV3)
+	} else {
+		copy(hdr[:8], Magic)
+	}
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(meta.Events))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(meta.WALBytes))
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(entries)))
 	binary.LittleEndian.PutUint64(hdr[32:40], labelBytes)
 	binary.LittleEndian.PutUint32(hdr[40:44], labelCRC.Sum32())
+	if meta.HasChain {
+		copy(hdr[44:76], root[:])
+		copy(hdr[76:108], meta.ChainHead[:])
+	}
 	indexCRC := crc32.NewIEEE()
-	indexCRC.Write(hdr[8:40])
+	indexCRC.Write(hdr[8 : hdrSize-4])
 	indexCRC.Write(index)
-	binary.LittleEndian.PutUint32(hdr[44:48], indexCRC.Sum32())
+	binary.LittleEndian.PutUint32(hdr[hdrSize-4:], indexCRC.Sum32())
 
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("arena: %w", err)
+		return integrity.Head{}, fmt.Errorf("arena: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	_, err = tmp.Write(hdr[:])
+	_, err = tmp.Write(hdr)
 	if err == nil {
 		_, err = tmp.Write(index)
 	}
@@ -425,10 +529,10 @@ func Write(path string, meta Meta, entries []Entry) error {
 		err = closeErr
 	}
 	if err != nil {
-		return fmt.Errorf("arena: %w", err)
+		return integrity.Head{}, fmt.Errorf("arena: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("arena: %w", err)
+		return integrity.Head{}, fmt.Errorf("arena: %w", err)
 	}
-	return nil
+	return root, nil
 }

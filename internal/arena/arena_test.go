@@ -18,7 +18,7 @@ import (
 func writeOpen(t *testing.T, meta Meta, entries []Entry) *Arena {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "labels.snap")
-	if err := Write(path, meta, entries); err != nil {
+	if _, err := Write(path, meta, entries); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	a, err := Open(path)
@@ -125,7 +125,7 @@ func TestEmptyLabels(t *testing.T) {
 
 func TestWriteRejectsDuplicates(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "labels.snap")
-	err := Write(path, Meta{}, []Entry{{V: 5, Enc: []byte("a")}, {V: 5, Enc: []byte("b")}})
+	_, err := Write(path, Meta{}, []Entry{{V: 5, Enc: []byte("a")}, {V: 5, Enc: []byte("b")}})
 	if err == nil {
 		t.Fatal("duplicate vertex accepted")
 	}
@@ -137,10 +137,10 @@ func TestWriteIsDeterministic(t *testing.T) {
 		return []Entry{{V: 9, Enc: []byte("i")}, {V: 2, Enc: []byte("b")}, {V: 5, Enc: []byte("e")}}
 	}
 	p1, p2 := filepath.Join(dir, "a.snap"), filepath.Join(dir, "b.snap")
-	if err := Write(p1, Meta{Events: 3, WALBytes: 77}, entries()); err != nil {
+	if _, err := Write(p1, Meta{Events: 3, WALBytes: 77}, entries()); err != nil {
 		t.Fatal(err)
 	}
-	if err := Write(p2, Meta{Events: 3, WALBytes: 77}, entries()); err != nil {
+	if _, err := Write(p2, Meta{Events: 3, WALBytes: 77}, entries()); err != nil {
 		t.Fatal(err)
 	}
 	b1, _ := os.ReadFile(p1)
@@ -168,7 +168,7 @@ func corrupt(t *testing.T, mutate func(b []byte) []byte) error {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "labels.snap")
 	entries := []Entry{{V: 1, Enc: []byte("aa")}, {V: 2, Enc: []byte("bbb")}, {V: 9, Enc: []byte("c")}}
-	if err := Write(path, Meta{Events: 3, WALBytes: 60}, entries); err != nil {
+	if _, err := Write(path, Meta{Events: 3, WALBytes: 60}, entries); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -231,7 +231,7 @@ func reseal(b []byte) {
 
 func TestVerifyCatchesLabelRot(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "labels.snap")
-	if err := Write(path, Meta{}, []Entry{{V: 0, Enc: []byte("hello")}}); err != nil {
+	if _, err := Write(path, Meta{}, []Entry{{V: 0, Enc: []byte("hello")}}); err != nil {
 		t.Fatal(err)
 	}
 	b, _ := os.ReadFile(path)

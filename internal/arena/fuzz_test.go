@@ -22,7 +22,7 @@ func FuzzArenaOpen(f *testing.F) {
 		{V: 1, Enc: []byte("b")},
 		{V: 5, Enc: []byte("gamma-gamma")},
 	}
-	if err := Write(path, Meta{Events: 3, WALBytes: 99}, entries); err != nil {
+	if _, err := Write(path, Meta{Events: 3, WALBytes: 99}, entries); err != nil {
 		f.Fatal(err)
 	}
 	valid, err := os.ReadFile(path)

@@ -403,6 +403,9 @@ func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveR
 	if err := c.drain(ctx, s, owner.URL, session, rel.FinalSeq); err != nil {
 		return api.MoveResponse{}, err
 	}
+	if err := c.verifyMoveChain(s, session, rel.FinalSeq, rel.ChainHead); err != nil {
+		return api.MoveResponse{}, err
+	}
 
 	// Everything is here; adopting the owner's map (override included)
 	// flips Route and this node starts serving the session.
@@ -464,6 +467,9 @@ func (c *Controller) completeLocal(ctx context.Context, session string) (api.Mov
 	if err := c.drain(ctx, s, src.URL, session, ov.FinalSeq); err != nil {
 		return api.MoveResponse{}, err
 	}
+	if err := c.verifyMoveChain(s, session, ov.FinalSeq, ov.ChainHead); err != nil {
+		return api.MoveResponse{}, err
+	}
 	c.logf("cluster: session %q drain resumed and completed (%d events)", session, s.Vertices())
 	return api.MoveResponse{Session: session, From: ov.From, To: c.self.Name,
 		Events: s.Vertices(), Map: c.state.Map()}, nil
@@ -487,6 +493,35 @@ func (c *Controller) drain(ctx context.Context, s *service.Session, srcURL, sess
 			}
 		}
 	}
+	return nil
+}
+
+// verifyMoveChain re-verifies the drained copy's hash chain against
+// the head the source sealed at FinalSeq, before the override flips
+// routing here. The drained frames are byte-identical to the source's
+// WAL records, so a clean move reproduces the sealed head exactly; a
+// mismatch means the history this node applied is not the history
+// that was sealed (the source's log — or the stream — was rewritten),
+// and the move fails instead of serving it. Verification is skipped
+// when either side has no chain: the source carried no head
+// (memory-only), or the local copy's chain state does not land on
+// FinalSeq (memory target, or a resumed drain over a local prefix
+// this process cannot re-hash).
+func (c *Controller) verifyMoveChain(s *service.Session, session string, finalSeq int64, sealedHead string) error {
+	if sealedHead == "" {
+		return nil
+	}
+	seq, head, ok := s.ChainState()
+	if !ok || seq != finalSeq {
+		c.logf("cluster: move of %q: no comparable local chain at seq %d; chain verification skipped", session, finalSeq)
+		return nil
+	}
+	if have := head.String(); have != sealedHead {
+		return api.Errorf(api.CodeUnknown,
+			"integrity: move of %q: chain head %s at sealed seq %d does not match the head %s the source sealed — drained history was tampered with; refusing to serve it",
+			session, have, finalSeq, sealedHead)
+	}
+	c.logf("cluster: move of %q: chain verified at seq %d (%s)", session, finalSeq, sealedHead)
 	return nil
 }
 
@@ -616,11 +651,18 @@ func (c *Controller) Release(_ context.Context, req api.ReleaseRequest) (api.Rel
 	// The override records this node and the sealed sequence so a move
 	// interrupted after this point can verify and resume its drain.
 	final := s.Seal(req.URL)
-	if _, err := c.state.Override(req.Session, req.Node, c.self.Name, final); err != nil {
+	// The seal ended ingest, so the chain head is final too: it commits
+	// to every byte the new owner must have applied at FinalSeq. Carried
+	// in the override, it survives an interrupted move by gossip.
+	var head string
+	if seq, h, ok := s.ChainState(); ok && seq == final {
+		head = h.String()
+	}
+	if _, err := c.state.Override(req.Session, req.Node, c.self.Name, final, head); err != nil {
 		return api.ReleaseResponse{}, api.Errorf(api.CodeBadRequest, "%v", err)
 	}
 	c.logf("cluster: released session %q to %s at seq %d (map v%d)", req.Session, req.Node, final, c.state.Version())
-	return api.ReleaseResponse{FinalSeq: final, Map: c.state.Map()}, nil
+	return api.ReleaseResponse{FinalSeq: final, ChainHead: head, Map: c.state.Map()}, nil
 }
 
 // getJSON GETs base+path with the unary timeout and decodes the JSON

@@ -25,6 +25,7 @@ import (
 // server, and the controller gating it.
 type node struct {
 	name string
+	dir  string
 	reg  *service.Registry
 	srv  *httptest.Server
 	ctl  *cluster.Controller
@@ -39,14 +40,15 @@ func newCluster(t *testing.T, n int) []*node {
 	nodes := make([]*node, n)
 	m := api.ClusterMap{Version: 1}
 	for i := range nodes {
-		reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: t.TempDir(), Fsync: false})
+		dir := t.TempDir()
+		reg, err := service.NewDurableRegistry(service.DurableOptions{Dir: dir, Fsync: false})
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { _ = reg.Close() })
 		srv := httptest.NewServer(service.NewHandler(reg))
 		t.Cleanup(srv.Close)
-		nodes[i] = &node{name: fmt.Sprintf("n%d", i), reg: reg, srv: srv}
+		nodes[i] = &node{name: fmt.Sprintf("n%d", i), dir: dir, reg: reg, srv: srv}
 		m.Nodes = append(m.Nodes, api.ClusterNode{Name: nodes[i].name, URL: srv.URL})
 	}
 	for _, nd := range nodes {

@@ -89,7 +89,7 @@ func TestStateOverridePrecedence(t *testing.T) {
 	if home == "a" {
 		away = "b"
 	}
-	ov, err := st.Override("s1", away, home, 42)
+	ov, err := st.Override("s1", away, home, 42, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestStateOverridePrecedence(t *testing.T) {
 	if got, ok := st.OverrideFor("s1"); !ok || got != ov {
 		t.Fatalf("OverrideFor = %+v, %v; want %+v", got, ok, ov)
 	}
-	if _, err := st.Override("s1", "nope", "", 0); err == nil {
+	if _, err := st.Override("s1", "nope", "", 0, ""); err == nil {
 		t.Error("override naming unknown node accepted")
 	}
 	v := st.Version()

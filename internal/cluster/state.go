@@ -79,9 +79,10 @@ func (s *State) OverrideFor(session string) (api.ClusterOverride, bool) {
 // override's (a tombstone's included, so a re-created session's next
 // move beats its old removal). It returns the installed override — the
 // caller gossips it by answering with the new map. from names the
-// releasing node and finalSeq its sealed final WAL sequence; both may
-// be zero for operator pins. Unknown node names are an error.
-func (s *State) Override(session, node, from string, finalSeq int64) (api.ClusterOverride, error) {
+// releasing node, finalSeq its sealed final WAL sequence and
+// chainHead the hash-chain head over the sealed log (hex); all may be
+// zero for operator pins. Unknown node names are an error.
+func (s *State) Override(session, node, from string, finalSeq int64, chainHead string) (api.ClusterOverride, error) {
 	if _, ok := s.node(node); !ok {
 		return api.ClusterOverride{}, fmt.Errorf("cluster: unknown node %q", node)
 	}
@@ -91,7 +92,7 @@ func (s *State) Override(session, node, from string, finalSeq int64) (api.Cluste
 	if old, ok := s.overrides[session]; ok && old.Version >= s.version {
 		s.version = old.Version + 1
 	}
-	ov := api.ClusterOverride{Node: node, Version: s.version, From: from, FinalSeq: finalSeq}
+	ov := api.ClusterOverride{Node: node, Version: s.version, From: from, FinalSeq: finalSeq, ChainHead: chainHead}
 	s.overrides[session] = ov
 	return ov, nil
 }

@@ -1,0 +1,152 @@
+package integrity
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+func TestChainDefinition(t *testing.T) {
+	// head(n) = SHA-256(head(n-1) || frame(n)), from a zero genesis —
+	// spelled out longhand so the optimized Chainer is pinned to the
+	// definition, not to itself.
+	frames := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var want Head
+	for _, f := range frames {
+		h := sha256.New()
+		h.Write(want[:])
+		h.Write(f)
+		copy(want[:], h.Sum(nil))
+	}
+
+	var got Head
+	for _, f := range frames {
+		got = Extend(got, f)
+	}
+	if got != want {
+		t.Fatalf("Extend chain %s, definition says %s", got, want)
+	}
+
+	c := NewChainer()
+	var reused Head
+	for _, f := range frames {
+		reused = c.Extend(reused, f)
+	}
+	if reused != want {
+		t.Fatalf("Chainer chain %s, definition says %s", reused, want)
+	}
+}
+
+func TestChainOrderAndContentSensitivity(t *testing.T) {
+	a := Extend(Extend(Head{}, []byte("x")), []byte("y"))
+	b := Extend(Extend(Head{}, []byte("y")), []byte("x"))
+	if a == b {
+		t.Fatal("chain is order-insensitive")
+	}
+	c := Extend(Extend(Head{}, []byte("x")), []byte("z"))
+	if a == c {
+		t.Fatal("chain is content-insensitive")
+	}
+	// Concatenation boundaries matter: ["xy"] must differ from ["x","y"].
+	d := Extend(Head{}, []byte("xy"))
+	if a == d {
+		t.Fatal("chain cannot tell two frames from their concatenation")
+	}
+}
+
+func TestHeadHexRoundTrip(t *testing.T) {
+	h := Extend(Head{}, []byte("frame"))
+	s := h.String()
+	if len(s) != 64 || s != hex.EncodeToString(h[:]) {
+		t.Fatalf("String() = %q", s)
+	}
+	back, err := ParseHead(s)
+	if err != nil || back != h {
+		t.Fatalf("ParseHead(%q) = %v, %v", s, back, err)
+	}
+	if _, err := ParseHead("zz"); err == nil {
+		t.Fatal("ParseHead accepted junk")
+	}
+	var zero Head
+	if !zero.IsZero() || h.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+// naiveRoot is the reference Merkle definition: leaves in order, pairs
+// combined level by level, an odd node at the end of a level promoted
+// as-is (which is exactly what bagging the streaming stack right to
+// left produces).
+func naiveRoot(leaves []Head) Head {
+	if len(leaves) == 0 {
+		return Head{}
+	}
+	level := append([]Head(nil), leaves...)
+	for len(level) > 1 {
+		var next []Head
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				h := sha256.New()
+				h.Write([]byte{0x01})
+				h.Write(level[i][:])
+				h.Write(level[i+1][:])
+				var n Head
+				copy(n[:], h.Sum(nil))
+				next = append(next, n)
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func TestMerkleMatchesNaiveDefinition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 257} {
+		m := NewMerkle()
+		var leaves []Head
+		for i := 0; i < n; i++ {
+			leaf := m.LabelLeaf(uint32(i), []byte{byte(i), byte(i >> 3), 0xAB})
+			leaves = append(leaves, leaf)
+			m.Add(leaf)
+		}
+		if got, want := m.Root(), naiveRoot(leaves); got != want {
+			t.Fatalf("n=%d: streaming root %s, naive root %s", n, got, want)
+		}
+	}
+}
+
+func TestMerkleSensitivity(t *testing.T) {
+	build := func(mutate func(v uint32, label []byte) (uint32, []byte)) Head {
+		m := NewMerkle()
+		for i := uint32(0); i < 9; i++ {
+			v, label := mutate(i, []byte{byte(i), 0x7F})
+			m.Add(m.LabelLeaf(v, label))
+		}
+		return m.Root()
+	}
+	id := func(v uint32, l []byte) (uint32, []byte) { return v, l }
+	base := build(id)
+	if base != build(id) {
+		t.Fatal("root is not deterministic")
+	}
+	flipped := build(func(v uint32, l []byte) (uint32, []byte) {
+		if v == 4 {
+			l[0] ^= 0x01
+		}
+		return v, l
+	})
+	if flipped == base {
+		t.Fatal("flipping one label byte left the root unchanged")
+	}
+	moved := build(func(v uint32, l []byte) (uint32, []byte) {
+		if v == 4 {
+			return 1000, l
+		}
+		return v, l
+	})
+	if moved == base {
+		t.Fatal("reassigning a label to another vertex left the root unchanged")
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"wfreach/client"
 	"wfreach/internal/api"
+	"wfreach/internal/integrity"
 	"wfreach/internal/service"
 	"wfreach/internal/spec"
 	"wfreach/internal/wal"
@@ -91,6 +92,21 @@ type sessionState struct {
 	applied int64 // last applied primary sequence
 	lastErr string
 	stopped bool // session vanished/replaced on the primary, or apply failed fatally
+
+	// Incremental chain verification: the follower folds every frame
+	// it applies into its own hash chain (the shipped frame is
+	// byte-identical to the primary's WAL record, so an untampered
+	// history yields the primary's exact head) and, whenever it is
+	// caught up, cross-checks its head against the primary's
+	// /integrity endpoint at the same sequence. A mismatch means the
+	// bytes the primary served are not the bytes it committed —
+	// its on-disk log was rewritten under it — and is a hard stop,
+	// not a reconnect.
+	chainSeq    int64          // frames folded into chainHead
+	chainHead   integrity.Head // chain over the applied prefix
+	chainOK     bool           // chain is seeded (adopt found a clean resume point)
+	verifiedSeq int64          // highest sequence cross-checked against the primary
+	noVerify    bool           // primary cannot answer /integrity; skip cross-checks
 }
 
 // Follower replicates a primary into the given registry and flips the
@@ -367,6 +383,17 @@ func (f *Follower) adopt(ctx context.Context, pst client.SessionStats) error {
 	// the local vertex count is the last applied primary sequence —
 	// for a durable follower it equals the recovered WAL sequence.
 	ss := &sessionState{primaryID: pst.ID, applied: s.Vertices()}
+	// Seed the verification chain. A fresh session starts at genesis;
+	// a durable follower restart resumes from the chain head its own
+	// restore recomputed (and verified) over its local WAL, which is a
+	// byte-identical prefix of the primary's. If the local chain state
+	// does not line up with the resume sequence there is no sound seed
+	// and verification stays off rather than raising false alarms.
+	if ss.applied == 0 {
+		ss.chainOK = true
+	} else if seq, head, ok := s.ChainState(); ok && seq == ss.applied {
+		ss.chainSeq, ss.chainHead, ss.chainOK = seq, head, true
+	}
 	f.mu.Lock()
 	if _, dup := f.sessions[pst.Name]; dup {
 		f.mu.Unlock()
@@ -474,6 +501,7 @@ func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, 
 	frames := make([][]byte, 0, f.opts.BatchSize)
 	var frameBuf []byte
 	var lastSeq int64
+	chainer := integrity.NewChainer()
 	apply := func() error {
 		if len(recs) == 0 {
 			return nil
@@ -487,12 +515,19 @@ func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, 
 			ss.mu.Lock()
 			ss.applied += int64(n)
 			ss.stopped = true
+			ss.chainOK = false // the chain no longer tracks what was applied
 			ss.mu.Unlock()
 			return fmt.Errorf("apply at seq %d: %w", lastSeq-int64(len(recs)-n-1), err)
 		}
 		ss.mu.Lock()
 		ss.applied = lastSeq
 		ss.lastErr = ""
+		if ss.chainOK {
+			for _, fr := range frames {
+				ss.chainHead = chainer.Extend(ss.chainHead, fr)
+			}
+			ss.chainSeq = lastSeq
+		}
 		ss.mu.Unlock()
 		recs, frames, frameBuf = recs[:0], frames[:0], frameBuf[:0]
 		return nil
@@ -500,7 +535,10 @@ func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, 
 	for {
 		entry, err := tail.Next()
 		if errors.Is(err, io.EOF) {
-			return apply()
+			if err := apply(); err != nil {
+				return err
+			}
+			return f.verifyChain(ctx, name, ss)
 		}
 		if err != nil {
 			// Apply what we have; the damage point is retried after
@@ -530,8 +568,66 @@ func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, 
 			if err := apply(); err != nil {
 				return err
 			}
+			// A drained stream is the moment the follower can be exactly
+			// as far as the primary — the only point where the two chain
+			// heads are comparable at the same sequence.
+			if !tail.Buffered() {
+				if err := f.verifyChain(ctx, name, ss); err != nil {
+					return err
+				}
+			}
 		}
 	}
+}
+
+// verifyChain cross-checks the follower's chain head against the
+// primary's at the same sequence. It is a no-op while the follower is
+// mid-stream (the sequences won't line up), when there is nothing new
+// to verify, or when the primary cannot answer. A head mismatch at an
+// equal sequence is proof the shipped bytes differ from the bytes the
+// primary committed; the session is hard-stopped — reconnecting would
+// re-apply the same tampered history.
+func (f *Follower) verifyChain(ctx context.Context, name string, ss *sessionState) error {
+	ss.mu.Lock()
+	ok, seq, head := ss.chainOK, ss.chainSeq, ss.chainHead
+	skip := ss.noVerify || !ok || seq <= ss.verifiedSeq
+	ss.mu.Unlock()
+	if skip {
+		return nil
+	}
+	st, err := f.c.Integrity(ctx, name)
+	if err != nil {
+		var ae *client.Error
+		if errors.As(err, &ae) && ae.Code == client.CodeNotDurable {
+			// The primary has no chain to compare against (its WAL
+			// failed after we started tailing); verification is
+			// permanently unavailable for this session, replication
+			// itself is unaffected.
+			ss.mu.Lock()
+			ss.noVerify = true
+			ss.mu.Unlock()
+			f.logf("replica: %q: primary reports no integrity state; chain verification off", name)
+			return nil
+		}
+		// Transient fetch failure: the applied data is fine, verify on
+		// the next caught-up moment instead of tearing the stream down.
+		return nil
+	}
+	if st.WALSeq != seq {
+		// The primary committed more (or answered from before our last
+		// batch); heads at different sequences are incomparable.
+		return nil
+	}
+	if have := head.String(); st.ChainHead != have {
+		ss.mu.Lock()
+		ss.stopped = true
+		ss.mu.Unlock()
+		return fmt.Errorf("integrity: chain mismatch at seq %d of %q: follower computed %s from the shipped frames, primary reports %s — the primary's log was rewritten; tail stopped", seq, name, have, st.ChainHead)
+	}
+	ss.mu.Lock()
+	ss.verifiedSeq = seq
+	ss.mu.Unlock()
+	return nil
 }
 
 func (ss *sessionState) setErr(err error) {

@@ -11,6 +11,7 @@ import (
 	"wfreach/internal/arena"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/wal"
 )
@@ -209,10 +210,10 @@ func TestArenaRestoreEquivalentToV1(t *testing.T) {
 	// Re-snapshotting both restored stores produces identical files.
 	p1 := filepath.Join(t.TempDir(), "re1.snap")
 	p2 := filepath.Join(t.TempDir(), "re2.snap")
-	if err := writeArenaSnapshot(p1, walEvents, 0, sv1.store.SnapshotEntries()); err != nil {
+	if _, err := writeArenaSnapshot(p1, walEvents, 0, sv1.store.SnapshotEntries(), integrity.Head{}, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeArenaSnapshot(p2, walEvents, 0, sv2.store.SnapshotEntries()); err != nil {
+	if _, err := writeArenaSnapshot(p2, walEvents, 0, sv2.store.SnapshotEntries(), integrity.Head{}, false); err != nil {
 		t.Fatal(err)
 	}
 	b1, _ := os.ReadFile(p1)

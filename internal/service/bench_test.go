@@ -202,7 +202,7 @@ func BenchmarkDurableConcurrentSessions(b *testing.B) {
 // They run through a real HTTP stack (httptest server + the Go client
 // SDK), so the numbers include framing, checksums and roundtrips.
 
-func benchHTTP(b *testing.B, durable bool) (*client.Client, func() string) {
+func benchHTTP(b *testing.B, durable bool) (*service.Registry, *client.Client, func() string) {
 	b.Helper()
 	reg := service.NewRegistry()
 	if durable {
@@ -228,7 +228,7 @@ func benchHTTP(b *testing.B, durable bool) (*client.Client, func() string) {
 		}
 		return name
 	}
-	return c, nextSession
+	return reg, c, nextSession
 }
 
 func wireEvents(b *testing.B, events []run.Event) []client.Event {
@@ -246,7 +246,7 @@ func wireEvents(b *testing.B, events []run.Event) []client.Event {
 // server-side.
 func BenchmarkHTTPIngestJSON(b *testing.B) {
 	_, events := benchEvents(b, 8192)
-	c, nextSession := benchHTTP(b, true)
+	_, c, nextSession := benchHTTP(b, true)
 	wire := wireEvents(b, events)
 	ctx := context.Background()
 	b.ResetTimer()
@@ -270,7 +270,7 @@ func BenchmarkHTTPIngestJSON(b *testing.B) {
 // without re-encoding.
 func BenchmarkHTTPIngestBinary(b *testing.B) {
 	_, events := benchEvents(b, 8192)
-	c, nextSession := benchHTTP(b, true)
+	_, c, nextSession := benchHTTP(b, true)
 	wire := wireEvents(b, events)
 	ctx := context.Background()
 	b.ResetTimer()
@@ -288,12 +288,40 @@ func BenchmarkHTTPIngestBinary(b *testing.B) {
 	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkHTTPIngestBinaryNoChain is the identical stream with the
+// WAL hash chain switched off: the Binary/NoChain pair prices tamper
+// evidence on the hot ingest path (acceptance budget: ≤5%). The chain
+// is one batched SHA-256 pass per group-commit flush, so the delta
+// should be hashing throughput, not extra synchronization.
+func BenchmarkHTTPIngestBinaryNoChain(b *testing.B) {
+	_, events := benchEvents(b, 8192)
+	reg, c, nextSession := benchHTTP(b, true)
+	wire := wireEvents(b, events)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := nextSession()
+		if s, ok := reg.Get(name); ok {
+			service.DisableChain(s)
+		}
+		for lo := 0; lo < len(wire); lo += 256 {
+			hi := min(lo+256, len(wire))
+			if _, err := c.IngestFrames(ctx, name, wire[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(wire)*b.N), "ns/event")
+	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkHTTPReachSingle answers one reachability pair per
 // roundtrip over the deprecated GET form — ns/op is the per-pair
 // cost the batch endpoint amortizes.
 func BenchmarkHTTPReachSingle(b *testing.B) {
 	_, events := benchEvents(b, 8192)
-	c, nextSession := benchHTTP(b, false)
+	_, c, nextSession := benchHTTP(b, false)
 	name := nextSession()
 	ctx := context.Background()
 	if _, err := c.IngestFrames(ctx, name, wireEvents(b, events)); err != nil {
@@ -317,7 +345,7 @@ func BenchmarkHTTPReachSingle(b *testing.B) {
 func BenchmarkHTTPReachBatch64(b *testing.B) {
 	const batch = 64
 	_, events := benchEvents(b, 8192)
-	c, nextSession := benchHTTP(b, false)
+	_, c, nextSession := benchHTTP(b, false)
 	name := nextSession()
 	ctx := context.Background()
 	if _, err := c.IngestFrames(ctx, name, wireEvents(b, events)); err != nil {

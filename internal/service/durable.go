@@ -14,6 +14,7 @@ import (
 	"wfreach/internal/arena"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 	"wfreach/internal/label"
 	"wfreach/internal/spec"
 	"wfreach/internal/store"
@@ -267,18 +268,21 @@ func (s *Session) commitWAL(log *wal.Log, seq int64) error {
 	return werr
 }
 
-// writeArenaSnapshot writes a WFSNAP02 arena snapshot (see
-// internal/arena): events is the covered record count, walBytes the
-// log byte offset the covered prefix ends at, entries the encoded
-// labels. The entry bytes are aliased, never copied — labels are
-// write-once, so a concurrent ingest can only add entries the snapshot
-// does not reference.
-func writeArenaSnapshot(path string, events, walBytes int64, entries []store.Entry) error {
+// writeArenaSnapshot writes an arena snapshot (see internal/arena):
+// events is the covered record count, walBytes the log byte offset the
+// covered prefix ends at, entries the encoded labels. The entry bytes
+// are aliased, never copied — labels are write-once, so a concurrent
+// ingest can only add entries the snapshot does not reference. With
+// hasChain set, chain is the WAL hash-chain head at record events and
+// the snapshot is stamped in the WFSNAP03 format (Merkle root over the
+// entries plus the chain head); otherwise plain WFSNAP02 is written.
+// The Merkle root of a v3 snapshot is returned.
+func writeArenaSnapshot(path string, events, walBytes int64, entries []store.Entry, chain integrity.Head, hasChain bool) (integrity.Head, error) {
 	aes := make([]arena.Entry, len(entries))
 	for i, e := range entries {
 		aes[i] = arena.Entry{V: e.V, Enc: e.Enc}
 	}
-	return arena.Write(path, arena.Meta{Events: events, WALBytes: walBytes}, aes)
+	return arena.Write(path, arena.Meta{Events: events, WALBytes: walBytes, ChainHead: chain, HasChain: hasChain}, aes)
 }
 
 // maybeSnapshot starts a label snapshot if enough events accumulated
@@ -303,14 +307,21 @@ func (s *Session) maybeSnapshot() {
 	events := s.walEvents
 	walBytes := s.wal.AppendBytes()
 	entries := s.store.SnapshotEntries()
+	// The chain head at the captured watermark: under ingestMu the
+	// log's append sequence equals walEvents (every logged record
+	// advanced both), so folding the pending frames in now yields the
+	// head of exactly the covered prefix.
+	chainSeq, chainHead, hasChain := s.wal.ChainHead()
+	hasChain = hasChain && chainSeq == events
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
-		err := writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, entries)
+		root, err := writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, entries, chainHead, hasChain)
 		s.ingestMu.Lock()
 		s.snapBusy = false
 		if err == nil && events > s.snapEvents {
 			s.snapEvents = events
+			s.snapRoot, s.snapChain, s.snapIntegrity = root, chainHead, hasChain
 		}
 		s.ingestMu.Unlock()
 	}()
@@ -368,6 +379,8 @@ func (s *Session) closeWAL(finalSnap bool) error {
 	events := s.walEvents
 	walBytes := s.wal.AppendBytes()
 	behind := s.snapEvery > 0 && events > s.snapEvents
+	chainSeq, chainHead, hasChain := s.wal.ChainHead()
+	hasChain = hasChain && chainSeq == events
 	err := s.wal.Close()
 	s.wal = nil
 	if s.ioErr == nil {
@@ -380,7 +393,7 @@ func (s *Session) closeWAL(finalSnap bool) error {
 	if finalSnap && behind && err == nil {
 		// Best-effort: a failed snapshot just means the next restore
 		// replays the log, exactly as if the process had crashed here.
-		writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, s.store.SnapshotEntries())
+		writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, s.store.SnapshotEntries(), chainHead, hasChain)
 	}
 	return err
 }
@@ -677,6 +690,8 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		replayed  int64
 		validSize int64
 		snapped   int64 // events the kept snapshot covers
+		chainSeed integrity.Head
+		seeded    bool // chainSeed covers the valid prefix already
 	)
 	a, aerr := arena.Open(snapPath)
 	switch {
@@ -689,6 +704,36 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		}
 		if ok {
 			snapped = a.Events()
+			if root, anchor, hasChain := a.Integrity(); hasChain {
+				// A v3 snapshot must prove itself before it boots: its
+				// label bytes against its Merkle root, and its chain head
+				// against the WAL prefix it claims to cover. A CRC-valid
+				// but rewritten snapshot (or a rewritten committed WAL
+				// record below the watermark) dies here instead of serving
+				// forged provenance. The same pass extends the chain over
+				// the replayed tail, re-seeding the head the log continues
+				// from.
+				verr := a.VerifyMerkle()
+				var headWm integrity.Head
+				if verr == nil {
+					if headWm, _, verr = wal.ChainTo(walPath, 0, a.WALBytes(), integrity.Head{}); verr != nil {
+						verr = fmt.Errorf("chain over covered WAL prefix: %w", verr)
+					} else if headWm != anchor {
+						verr = fmt.Errorf("WAL chain head %s at snapshot watermark (record %d) does not match the snapshot's anchor %s: history below the watermark was rewritten", headWm, a.Events(), anchor)
+					}
+				}
+				if verr == nil {
+					if chainSeed, _, verr = wal.ChainTo(walPath, a.WALBytes(), validSize, headWm); verr != nil {
+						verr = fmt.Errorf("chain over WAL tail: %w", verr)
+					}
+				}
+				if verr != nil {
+					a.Close()
+					return nil, fmt.Errorf("integrity: %w", verr)
+				}
+				seeded = true
+				s.snapRoot, s.snapChain, s.snapIntegrity = root, anchor, true
+			}
 			break
 		}
 		// The arena is ahead of the log (possible only after an OS crash
@@ -730,6 +775,14 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 	if snapped <= s.walEvents {
 		s.snapEvents = snapped
 	}
+	if !seeded {
+		// No v3 anchor to verify against (v1/v2 data, or a discarded
+		// arena): hash the valid prefix so the reopened log continues
+		// the chain and the session's next snapshot carries an anchor.
+		if chainSeed, _, err = wal.ChainTo(walPath, 0, validSize, integrity.Head{}); err != nil {
+			return nil, fmt.Errorf("integrity: chain over WAL: %w", err)
+		}
+	}
 
 	if r.durable != nil {
 		// Sweep snapshot temp files orphaned by a crash mid-snapshot;
@@ -745,7 +798,47 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
+		log.SeedChain(chainSeed)
 		s.attachWAL(sdir, log, r.durable, r.committer)
 	}
 	return s, nil
+}
+
+// Integrity reports the session's live integrity anchors: the WAL hash
+// chain head (folding in everything appended so far) with the sequence
+// it covers, plus the Merkle root and watermark of the last integrity-
+// stamped snapshot, if one exists. Sessions without a chained log —
+// memory-only, closed, poisoned, or restored data predating the hash
+// chain that has not re-seeded — report a typed CodeNotDurable error:
+// integrity is unavailable, not violated.
+func (s *Session) Integrity() (api.SessionIntegrity, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.wal == nil {
+		return api.SessionIntegrity{}, api.Errorf(api.CodeNotDurable, "session %q has no open write-ahead log: integrity unavailable", s.name)
+	}
+	seq, head, ok := s.wal.ChainHead()
+	if !ok {
+		return api.SessionIntegrity{}, api.Errorf(api.CodeNotDurable, "session %q has no hash chain: integrity unavailable", s.name)
+	}
+	st := api.SessionIntegrity{Session: s.name, WALSeq: seq, ChainHead: head.String()}
+	if s.snapIntegrity {
+		st.MerkleRoot = s.snapRoot.String()
+		st.SnapshotWatermark = s.snapEvents
+	}
+	return st, nil
+}
+
+// ChainState returns the WAL hash-chain head covering every event
+// appended to the session so far, and the sequence it covers. ok is
+// false when the session has no chained log. Unlike Integrity it
+// returns the raw head — the form the replication and cluster planes
+// compare.
+func (s *Session) ChainState() (seq int64, head integrity.Head, ok bool) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.wal == nil {
+		return 0, integrity.Head{}, false
+	}
+	return s.wal.ChainHead()
 }

@@ -1,0 +1,12 @@
+package service
+
+// DisableChain turns off the session's WAL hash chain. Test-and-bench
+// only: the chained/unchained pair of ingest benchmarks uses it to
+// price tamper evidence on the hot path.
+func DisableChain(s *Session) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.wal != nil {
+		s.wal.DisableChain()
+	}
+}

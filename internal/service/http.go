@@ -35,6 +35,7 @@ import (
 //	GET    /v1/sessions/{name}/reach      ?from=V&to=W (deprecated: one pair per roundtrip)
 //	GET    /v1/sessions/{name}/lineage    ?of=V&cursor=&limit= (paginated)
 //	GET    /v1/sessions/{name}/spec       the session's specification XML
+//	GET    /v1/sessions/{name}/integrity  tamper-evidence anchors (chain head, Merkle root)
 //	GET    /v1/sessions/{name}/wal        ?from=S&wait= — tail the WAL (replication)
 //	GET    /v1/replication/status         replication role and per-session progress
 //	POST   /v1/replication/promote        follower → writable primary
@@ -151,6 +152,18 @@ func NewHandler(reg *Registry) http.Handler {
 			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 				if s := lookup(reg, w, r); s != nil {
 					writeJSON(w, http.StatusOK, s.Stats())
+				}
+			},
+		}},
+		{"/sessions/{name}/integrity", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				if s := lookup(reg, w, r); s != nil {
+					st, err := s.Integrity()
+					if err != nil {
+						writeError(w, err)
+						return
+					}
+					writeJSON(w, http.StatusOK, st)
 				}
 			},
 		}},

@@ -7,6 +7,7 @@ import (
 	"wfreach/internal/core"
 	"wfreach/internal/gen"
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
 	"wfreach/internal/wal"
@@ -59,7 +60,7 @@ func buildRestoreFixture(b *testing.B, dir string, size int, v1 bool) int {
 		if err := wal.WriteSnapshot(path, wal.Snapshot{Events: walEvents, Labels: labels}); err != nil {
 			b.Fatal(err)
 		}
-	} else if err := writeArenaSnapshot(path, walEvents, walBytes, entries); err != nil {
+	} else if _, err := writeArenaSnapshot(path, walEvents, walBytes, entries, integrity.Head{}, false); err != nil {
 		b.Fatal(err)
 	}
 	return len(events)

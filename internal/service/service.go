@@ -41,6 +41,7 @@ import (
 	"wfreach/internal/api"
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 	"wfreach/internal/label"
 	"wfreach/internal/run"
 	"wfreach/internal/skeleton"
@@ -119,6 +120,14 @@ type Session struct {
 	snapBusy          bool           // a snapshot write is in flight
 	snapWG            sync.WaitGroup // tracks the in-flight snapshot goroutine
 	ioErr             error          // first log failure; poisons further ingest
+
+	// Integrity anchors of the last WFSNAP03 snapshot (guarded by
+	// ingestMu): the Merkle root over its label extents and the WAL
+	// chain head at its watermark. snapIntegrity is false until the
+	// session writes (or restores from) an integrity-stamped snapshot.
+	snapRoot      integrity.Head
+	snapChain     integrity.Head
+	snapIntegrity bool
 
 	// sealed, when non-empty, is the base URL of the node this session
 	// moved to (see Seal): ingest is permanently rejected with

@@ -45,7 +45,7 @@ func splitArena(t *testing.T, entries []store.Entry) (*arena.Arena, []store.Entr
 		aes[i] = arena.Entry{V: e.V, Enc: e.Enc}
 	}
 	path := filepath.Join(t.TempDir(), "labels.snap")
-	if err := arena.Write(path, arena.Meta{Events: int64(cut)}, aes); err != nil {
+	if _, err := arena.Write(path, arena.Meta{Events: int64(cut)}, aes); err != nil {
 		t.Fatal(err)
 	}
 	a, err := arena.Open(path)

@@ -1,0 +1,103 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"wfreach/internal/integrity"
+)
+
+// ChainScan hashes the log file at path into the frame hash chain,
+// starting from seed at byte offset (a frame boundary), and stops at
+// the first torn or corrupt record with Scan's exact stopping rule. It
+// returns the head over the valid prefix, the number of records folded
+// in, and the absolute end of the valid prefix. A missing file scans
+// as empty. Unlike Scan it never decodes payloads — it is the restore
+// path's cheap "what is the chain head of what's on disk" pass.
+func ChainScan(path string, offset int64, seed integrity.Head) (head integrity.Head, n int64, validSize int64, err error) {
+	return chainWalk(path, offset, -1, seed)
+}
+
+// ChainTo is ChainScan with a hard stop: every byte of [offset, to)
+// must be intact frames and a frame boundary must land exactly on to,
+// or ErrCorrupt is returned. It is how a verifier answers "what is the
+// chain head at this snapshot's watermark" — damage anywhere below the
+// watermark is real corruption, not a torn tail, and must surface.
+func ChainTo(path string, offset, to int64, seed integrity.Head) (head integrity.Head, n int64, err error) {
+	head, n, valid, err := chainWalk(path, offset, to, seed)
+	if err != nil {
+		return integrity.Head{}, 0, err
+	}
+	if valid != to {
+		return integrity.Head{}, 0, fmt.Errorf("%w: valid frames end at byte %d, not the required boundary %d", ErrCorrupt, valid, to)
+	}
+	return head, n, nil
+}
+
+func chainWalk(path string, offset, stop int64, seed integrity.Head) (head integrity.Head, n int64, validSize int64, err error) {
+	head = seed
+	validSize = offset
+	if stop >= 0 && offset > stop {
+		return integrity.Head{}, 0, offset, fmt.Errorf("%w: scan offset %d past stop boundary %d", ErrCorrupt, offset, stop)
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if stop >= 0 && stop != offset {
+			return integrity.Head{}, 0, offset, fmt.Errorf("wal: %w", err)
+		}
+		return head, 0, offset, nil
+	}
+	if err != nil {
+		return integrity.Head{}, 0, offset, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return integrity.Head{}, 0, offset, fmt.Errorf("wal: %w", err)
+		}
+	}
+
+	br := bufio.NewReaderSize(f, 256<<10)
+	chainer := integrity.NewChainer()
+	var frame []byte
+	for {
+		if stop >= 0 && validSize == stop {
+			return head, n, validSize, nil
+		}
+		var hdr [FrameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return head, n, validSize, nil // EOF or torn frame: end of valid prefix
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > MaxPayload {
+			return head, n, validSize, nil
+		}
+		total := FrameHeaderSize + int(length)
+		if stop >= 0 && validSize+int64(total) > stop {
+			// The frame straddles the required boundary: the boundary is
+			// not a frame boundary of this file. Report where the valid
+			// prefix actually stood; ChainTo turns that into ErrCorrupt.
+			return head, n, validSize, nil
+		}
+		if cap(frame) < total {
+			frame = make([]byte, total)
+		}
+		frame = frame[:total]
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(br, frame[FrameHeaderSize:]); err != nil {
+			return head, n, validSize, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(frame[FrameHeaderSize:]) != sum {
+			return head, n, validSize, nil // bit rot or torn overwrite
+		}
+		head = chainer.Extend(head, frame)
+		n++
+		validSize += int64(total)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
+	"wfreach/internal/integrity"
 	"wfreach/internal/run"
 	"wfreach/internal/spec"
 )
@@ -344,6 +345,21 @@ type Log struct {
 	// durableSeq advances or the log closes.
 	notifyMu sync.Mutex
 	notifyCh chan struct{}
+
+	// Hash-chain state, guarded by mu. Appends only copy their frame
+	// bytes into chainPend (a memcpy, no hashing on the hot path); the
+	// chain is folded forward in one batched pass per flush round —
+	// flushLocked calls advanceChainLocked before writing, so by the
+	// time a Committer round acknowledges a batch the head covers it.
+	// chainOn is false until the chain is seeded: a log opened over
+	// pre-existing records cannot know its head until the caller has
+	// hashed the prefix (see SeedChain and ChainScan).
+	chainOn   bool
+	chainSeq  int64 // sequence chainHead covers
+	chainHead integrity.Head
+	chainPend []byte // raw frames appended since the last fold
+	chainLens []int  // frame lengths within chainPend
+	chainer   *integrity.Chainer
 }
 
 // AppendSeq returns the sequence of the last record appended so far
@@ -433,7 +449,69 @@ func Open(path string, validSize int64, records int64, fsync bool) (*Log, error)
 	l.appendSeq.Store(records)
 	l.durableSeq.Store(records)
 	l.appendBytes.Store(validSize)
+	// An empty log starts its hash chain at genesis; a log reopened
+	// over existing records stays chainless until SeedChain installs
+	// the head of the prefix (restore computes it with ChainScan).
+	l.chainOn = records == 0
+	l.chainSeq = records
 	return l, nil
+}
+
+// SeedChain installs head as the hash-chain head covering every record
+// already appended (AppendSeq at the time of the call) and enables
+// chain tracking from there on. Restore calls it after hashing the
+// log's valid prefix; it must not race appends.
+func (l *Log) SeedChain(head integrity.Head) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.chainOn = true
+	l.chainSeq = l.appendSeq.Load()
+	l.chainHead = head
+	l.chainPend, l.chainLens = l.chainPend[:0], l.chainLens[:0]
+}
+
+// DisableChain turns hash-chain tracking off (ChainHead then reports
+// unavailable). It exists for benchmarking the chain's cost and for
+// callers that knowingly run without integrity metadata.
+func (l *Log) DisableChain() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.chainOn = false
+	l.chainPend, l.chainLens = l.chainPend[:0], l.chainLens[:0]
+}
+
+// ChainHead folds any pending appends into the hash chain and returns
+// the head plus the sequence it covers (every record appended so far).
+// ok is false when the log has no chain — tracking disabled, or a
+// reopened log that was never seeded.
+func (l *Log) ChainHead() (seq int64, head integrity.Head, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.chainOn {
+		return 0, integrity.Head{}, false
+	}
+	l.advanceChainLocked()
+	return l.chainSeq, l.chainHead, true
+}
+
+// advanceChainLocked is the batched hash pass: it folds every frame
+// appended since the previous pass into the chain head. Called under
+// mu from flushLocked (once per group-commit round) and ChainHead.
+func (l *Log) advanceChainLocked() {
+	if !l.chainOn || len(l.chainLens) == 0 {
+		return
+	}
+	if l.chainer == nil {
+		l.chainer = integrity.NewChainer()
+	}
+	off := 0
+	for _, n := range l.chainLens {
+		l.chainHead = l.chainer.Extend(l.chainHead, l.chainPend[off:off+n])
+		off += n
+		l.chainSeq++
+	}
+	l.chainPend = l.chainPend[:0]
+	l.chainLens = l.chainLens[:0]
 }
 
 // Append frames and buffers one record. The record is not durable —
@@ -453,6 +531,10 @@ func (l *Log) Append(rec Record) error {
 	}
 	if _, err := l.w.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if l.chainOn {
+		l.chainPend = append(l.chainPend, l.buf...)
+		l.chainLens = append(l.chainLens, len(l.buf))
 	}
 	l.appendSeq.Add(1)
 	l.appendBytes.Add(int64(len(l.buf)))
@@ -482,6 +564,10 @@ func (l *Log) AppendRaw(frame []byte) error {
 	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	if l.chainOn {
+		l.chainPend = append(l.chainPend, frame...)
+		l.chainLens = append(l.chainLens, len(frame))
+	}
 	l.appendSeq.Add(1)
 	l.appendBytes.Add(int64(len(frame)))
 	return nil
@@ -509,6 +595,10 @@ func (l *Log) flushLocked(sync bool) error {
 	if l.closed {
 		return errClosed
 	}
+	// One batched hash pass per flush round: the records of every
+	// batch acknowledged by this round enter the chain here, not one
+	// by one on the ingest path.
+	l.advanceChainLocked()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
