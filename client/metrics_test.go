@@ -1,0 +1,61 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP wf_sessions Live sessions.",
+		"# TYPE wf_sessions gauge",
+		"wf_sessions 3",
+		`wf_ingest_events_total{session="a b"} 42`,
+		`wf_wal_commit_seconds{quantile="0.99"} 0.00125`,
+		"",
+		"wf_replica_lag_seconds 1.5",
+	}, "\n")
+	got, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"wf_sessions":                            3,
+		`wf_ingest_events_total{session="a b"}`:  42,
+		`wf_wal_commit_seconds{quantile="0.99"}`: 0.00125,
+		"wf_replica_lag_seconds":                 1.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d series, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %g, want %g", k, got[k], v)
+		}
+	}
+	if _, err := ParseMetrics(strings.NewReader("wf_bad notanumber")); err == nil {
+		t.Fatal("malformed sample line did not error")
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" || r.Method != http.MethodGet {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte("# HELP wf_sessions Live sessions.\n# TYPE wf_sessions gauge\nwf_sessions 2\n"))
+	}))
+	defer srv.Close()
+	got, err := New(srv.URL).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["wf_sessions"] != 2 {
+		t.Fatalf("wf_sessions = %g, want 2", got["wf_sessions"])
+	}
+}

@@ -8,6 +8,19 @@
 //	wfserve -addr :8080
 //	wfserve -addr 127.0.0.1:0 -session demo=BioAID
 //	wfserve -addr :8080 -data /var/lib/wfserve -shards 32
+//	wfserve -addr :8080 -debug-addr 127.0.0.1:6060
+//
+// # Observability
+//
+// GET /v1/metrics serves the node's metrics registry in the
+// Prometheus text exposition format: ingest throughput, WAL commit
+// and fsync latency, snapshot and restore durations, replica lag,
+// cluster move counters (metric table in ARCHITECTURE.md). Every
+// request is logged as one structured logfmt line on stderr (request
+// id, method, route, status, bytes, duration); requests slower than
+// -slow-request get an extra warn line. -debug-addr serves
+// net/http/pprof on a separate listener, so profiling never shares
+// the API port.
 //
 // With -data the service is durable: every session persists its
 // specification, an append-only write-ahead log of ingested events,
@@ -110,6 +123,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"strings"
@@ -137,6 +151,8 @@ func main() {
 	promote := flag.String("promote", "", "admin mode: promote the follower at this base URL to writable, print its status, exit")
 	clusterFile := flag.String("cluster", "", "run as one node of a session-partitioned cluster defined by this JSON map file (requires -data and -node)")
 	nodeName := flag.String("node", "", "with -cluster: this server's node name in the map")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (empty disables)")
+	slowReq := flag.Duration("slow-request", time.Second, "log a warn line for requests slower than this (0 disables)")
 	var sessions sessionFlags
 	flag.Var(&sessions, "session", "pre-create a session \"name=Builtin\" (repeatable)")
 	flag.Parse()
@@ -255,6 +271,44 @@ func main() {
 	}
 	fmt.Printf("wfserve: listening on http://%s\n", ln.Addr())
 
+	if *debugAddr != "" {
+		// pprof rides the default mux (the blank net/http/pprof import),
+		// served on its own listener so profiling never shares a port —
+		// or an authn perimeter — with the API.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(fmt.Errorf("-debug-addr: %w", err))
+		}
+		go func() { _ = http.Serve(dln, nil) }()
+		fmt.Printf("wfserve: debug (pprof) on http://%s/debug/pprof/\n", dln.Addr())
+	}
+
+	logger := wfreach.NewObsLogger(os.Stderr)
+	mode := "memory"
+	if *dataDir != "" {
+		mode = "durable"
+	}
+	if *follow != "" {
+		mode = "follower"
+	}
+	if *clusterFile != "" {
+		mode = "cluster"
+	}
+	var walSeqs []string
+	for _, name := range reg.Names() {
+		if s, ok := reg.Get(name); ok {
+			walSeqs = append(walSeqs, fmt.Sprintf("%s=%d", name, s.WALSeq()))
+		}
+	}
+	logger.Info("server started",
+		"mode", mode,
+		"addr", ln.Addr().String(),
+		"data", *dataDir,
+		"shards", *shards,
+		"sessions", len(walSeqs),
+		"wal_seqs", strings.Join(walSeqs, ","),
+	)
+
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
 	// close the registry so the WALs end flushed instead of relying on
 	// crash recovery at the next boot. Request contexts derive from the
@@ -263,7 +317,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := &http.Server{
-		Handler:     wfreach.NewServiceHandler(reg),
+		Handler: wfreach.AccessLog(wfreach.NewServiceHandler(reg), logger,
+			wfreach.AccessLogOptions{Slow: *slowReq, Metrics: reg.Obs()}),
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	serveErr := make(chan error, 1)
@@ -275,6 +330,7 @@ func main() {
 	case <-ctx.Done():
 		stop() // a second signal kills the process the default way
 		fmt.Printf("wfserve: shutting down (draining up to %v)\n", *drain)
+		drainStart := time.Now()
 		if follower != nil {
 			follower.Close()
 		}
@@ -289,7 +345,7 @@ func main() {
 		if err := reg.Close(); err != nil {
 			fail(fmt.Errorf("closing sessions: %w", err))
 		}
-		fmt.Printf("wfserve: shutdown complete\n")
+		logger.Info("shutdown complete", "drain", time.Since(drainStart).Round(time.Millisecond).String())
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"wfreach/internal/api"
+	"wfreach/internal/obs"
 	"wfreach/internal/service"
 	"wfreach/internal/spec"
 	"wfreach/internal/wal"
@@ -78,6 +79,12 @@ type Controller struct {
 	opts  Options
 	hc    *http.Client
 
+	// Move-phase and rejection instruments, re-registered against the
+	// registry's obs families (idempotent — shared with the series the
+	// service pre-creates so the scrape carries them from node start).
+	moves      *obs.CounterVec
+	rejections *obs.CounterVec
+
 	mu     sync.Mutex
 	peers  map[string]*peerState
 	cancel context.CancelFunc
@@ -113,6 +120,9 @@ func New(self string, m api.ClusterMap, reg *service.Registry, opts Options) (*C
 		opts:  opts,
 		hc:    &http.Client{},
 		peers: make(map[string]*peerState),
+
+		moves:      reg.Obs().CounterVec("wf_cluster_moves_total", "Cluster session-move phase transitions.", "phase"),
+		rejections: reg.Obs().CounterVec("wf_cluster_rejections_total", "Placement rejections served.", "code"),
 	}
 	for _, n := range m.Nodes {
 		if n.Name != self {
@@ -190,9 +200,11 @@ func (c *Controller) Route(session string, write bool) error {
 		if !write {
 			return nil
 		}
+		c.rejections.With("read_only").Inc()
 		return api.Errorf(api.CodeReadOnly, "session %q moved to node %s", session, owner.Name).
 			WithDetail("%s", owner.URL)
 	}
+	c.rejections.With("wrong_node").Inc()
 	return api.Errorf(api.CodeWrongNode, "session %q is owned by node %s", session, owner.Name).
 		WithDetail("%s", owner.URL)
 }
@@ -213,6 +225,7 @@ func (c *Controller) undrained(session string) error {
 	if s, have := c.reg.Get(session); have && s.Vertices() >= ov.FinalSeq {
 		return nil
 	}
+	c.rejections.With("read_only").Inc()
 	return api.Errorf(api.CodeReadOnly, "session %q is still draining its move from node %s; retry shortly", session, ov.From).
 		WithDetail("%s", c.self.URL)
 }
@@ -230,6 +243,7 @@ func (c *Controller) Health() api.ClusterHealth {
 		Role:       rs.Role,
 		Sessions:   rs.Sessions,
 		Peers:      c.peerView(),
+		Metrics:    c.reg.MetricsSnapshot(),
 	}
 }
 
@@ -370,6 +384,7 @@ func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveR
 	if owner.Name == c.self.Name {
 		return c.completeLocal(ctx, session)
 	}
+	c.moves.With("started").Inc()
 	c.logf("cluster: moving session %q from %s to %s", session, owner.Name, c.self.Name)
 
 	var pst api.SessionStats
@@ -412,6 +427,7 @@ func (c *Controller) receiveMove(ctx context.Context, session string) (api.MoveR
 	if _, err := c.state.Merge(rel.Map); err != nil {
 		return api.MoveResponse{}, fmt.Errorf("cluster: adopt released map: %w", err)
 	}
+	c.moves.With("completed").Inc()
 	c.logf("cluster: session %q now served here (%d events, map v%d)", session, s.Vertices(), c.state.Version())
 	return api.MoveResponse{Session: session, From: owner.Name, To: c.self.Name,
 		Events: s.Vertices(), Map: c.state.Map()}, nil
@@ -448,6 +464,7 @@ func (c *Controller) completeLocal(ctx context.Context, session string) (api.Mov
 	if have {
 		localSeq = s.Vertices()
 	}
+	c.moves.With("resumed").Inc()
 	c.logf("cluster: resuming interrupted move of %q from %s (have %d, need %d)",
 		session, src.Name, localSeq, ov.FinalSeq)
 	if !have {
@@ -470,6 +487,7 @@ func (c *Controller) completeLocal(ctx context.Context, session string) (api.Mov
 	if err := c.verifyMoveChain(s, session, ov.FinalSeq, ov.ChainHead); err != nil {
 		return api.MoveResponse{}, err
 	}
+	c.moves.With("completed").Inc()
 	c.logf("cluster: session %q drain resumed and completed (%d events)", session, s.Vertices())
 	return api.MoveResponse{Session: session, From: ov.From, To: c.self.Name,
 		Events: s.Vertices(), Map: c.state.Map()}, nil
@@ -661,6 +679,7 @@ func (c *Controller) Release(_ context.Context, req api.ReleaseRequest) (api.Rel
 	if _, err := c.state.Override(req.Session, req.Node, c.self.Name, final, head); err != nil {
 		return api.ReleaseResponse{}, api.Errorf(api.CodeBadRequest, "%v", err)
 	}
+	c.moves.With("released").Inc()
 	c.logf("cluster: released session %q to %s at seq %d (map v%d)", req.Session, req.Node, final, c.state.Version())
 	return api.ReleaseResponse{FinalSeq: final, ChainHead: head, Map: c.state.Map()}, nil
 }

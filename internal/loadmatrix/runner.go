@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,17 +39,23 @@ func (o RunOptions) out() io.Writer {
 // ScenarioResult is one cell of the report: the scenario's bound
 // dimensions, what it measured, and how its SLO gates came out.
 type ScenarioResult struct {
-	Name       string      `json:"name"`
-	Workload   string      `json:"workload"`
-	Kind       string      `json:"kind"`
-	Topology   string      `json:"topology"`
-	Transport  string      `json:"transport"`
-	Sessions   int         `json:"sessions"`
-	Mix        string      `json:"mix"`
-	SLO        SLO         `json:"slo"`
-	Metrics    Metrics     `json:"metrics"`
-	Violations []Violation `json:"violations,omitempty"`
-	Pass       bool        `json:"pass"`
+	Name      string  `json:"name"`
+	Workload  string  `json:"workload"`
+	Kind      string  `json:"kind"`
+	Topology  string  `json:"topology"`
+	Transport string  `json:"transport"`
+	Sessions  int     `json:"sessions"`
+	Mix       string  `json:"mix"`
+	SLO       SLO     `json:"slo"`
+	Metrics   Metrics `json:"metrics"`
+	// ServerMetrics holds the scenario's server-side truth: the change
+	// in every additive /v1/metrics series over the run, summed across
+	// the topology's nodes. Quantile series (not additive) and series
+	// that did not move are omitted; absent entirely on scrape failure
+	// and in reports written before the field existed.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
+	Violations    []Violation        `json:"violations,omitempty"`
+	Pass          bool               `json:"pass"`
 }
 
 // Report is the machine-readable outcome of a matrix run.
@@ -87,7 +94,7 @@ func Run(ctx context.Context, m *Matrix, opts RunOptions) (*Report, error) {
 			return nil, err
 		}
 		fmt.Fprintf(opts.out(), "[%d/%d] %s ...\n", i+1, len(scenarios), sc.Name)
-		met, err := runScenario(ctx, sc, m.Defaults, dir)
+		met, srv, err := runScenario(ctx, sc, m.Defaults, dir)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
@@ -96,7 +103,8 @@ func Run(ctx context.Context, m *Matrix, opts RunOptions) (*Report, error) {
 			Name: sc.Name, Workload: sc.Workload.Name, Kind: sc.Workload.Kind,
 			Topology: sc.Topology, Transport: sc.Transport,
 			Sessions: sc.Sessions, Mix: sc.Mix.Name,
-			SLO: sc.SLO, Metrics: met, Violations: vs, Pass: len(vs) == 0,
+			SLO: sc.SLO, Metrics: met, ServerMetrics: srv,
+			Violations: vs, Pass: len(vs) == 0,
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 		if res.Pass {
@@ -252,24 +260,61 @@ func (ls *lagSampler) waitCaughtUp(ctx context.Context, timeout time.Duration) (
 	}
 }
 
-func runScenario(ctx context.Context, sc Scenario, def Defaults, scratch string) (Metrics, error) {
+// scrapeNodes sums one /v1/metrics scrape across every node of a
+// topology. A node that fails to scrape voids the whole cut (nil) —
+// a partial sum would silently undercount.
+func scrapeNodes(ctx context.Context, nodes []*client.Client) map[string]float64 {
+	sum := make(map[string]float64)
+	for _, c := range nodes {
+		vals, err := c.Metrics(ctx)
+		if err != nil {
+			return nil
+		}
+		for k, v := range vals {
+			sum[k] += v
+		}
+	}
+	return sum
+}
+
+// serverDelta subtracts two summed scrapes, keeping series that moved.
+// Quantile samples are dropped: a quantile is a point estimate, and
+// neither its difference nor its cross-node sum means anything.
+func serverDelta(before, after map[string]float64) map[string]float64 {
+	if before == nil || after == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		if strings.Contains(k, `quantile="`) {
+			continue
+		}
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+func runScenario(ctx context.Context, sc Scenario, def Defaults, scratch string) (Metrics, map[string]float64, error) {
 	t, err := launchTopology(sc.Topology, scratch)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
 	defer t.Close()
 
 	loads, err := generateLoads(sc.Workload, sc.Sessions, sc.Seed, "lm")
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, nil, err
 	}
 	for _, l := range loads {
 		if _, err := t.write.CreateSession(ctx, client.CreateSessionRequest{
 			Name: l.name, Builtin: sc.Workload.builtinFor(),
 		}); err != nil {
-			return Metrics{}, fmt.Errorf("create session %s: %w", l.name, err)
+			return Metrics{}, nil, fmt.Errorf("create session %s: %w", l.name, err)
 		}
 	}
+	before := scrapeNodes(ctx, t.scrapers)
 
 	var (
 		wg         sync.WaitGroup
@@ -442,7 +487,7 @@ func runScenario(ctx context.Context, sc Scenario, def Defaults, scratch string)
 		}
 		catchup, err := ls.waitCaughtUp(ctx, 2*time.Minute)
 		if err != nil {
-			return met, err
+			return met, nil, err
 		}
 		met.CatchupSec = catchup.Seconds()
 		ls.mu.Lock()
@@ -457,13 +502,17 @@ func runScenario(ctx context.Context, sc Scenario, def Defaults, scratch string)
 	if firstErr != nil && mismatches.Load() == 0 {
 		// Mismatches surface through the verify gate; anything else —
 		// an ingest error, a broken topology — is a harness failure.
-		return met, firstErr
+		return met, nil, firstErr
 	}
+
+	// Server-side truth: scrape again before sessions are torn down, so
+	// the deltas still carry the per-session ingest series.
+	srv := serverDelta(before, scrapeNodes(ctx, t.scrapers))
 
 	for _, l := range loads {
 		if err := t.write.DeleteSession(ctx, l.name); err != nil {
-			return met, fmt.Errorf("cleanup %s: %w", l.name, err)
+			return met, srv, fmt.Errorf("cleanup %s: %w", l.name, err)
 		}
 	}
-	return met, nil
+	return met, srv, nil
 }

@@ -53,6 +53,27 @@ func TestRunTinyMatrix(t *testing.T) {
 		if sc.Metrics.HasReplica {
 			t.Fatalf("%s claims a replica on the single topology", sc.Name)
 		}
+		// Server-side truth must agree with the client-side count: the
+		// summed per-session ingest deltas equal the events we sent.
+		if sc.ServerMetrics == nil {
+			t.Fatalf("%s carried no server metrics", sc.Name)
+		}
+		var serverIngest float64
+		for k, v := range sc.ServerMetrics {
+			if strings.HasPrefix(k, "wf_ingest_events_total{") {
+				serverIngest += v
+			}
+			if strings.Contains(k, `quantile="`) {
+				t.Fatalf("%s delta kept non-additive series %s", sc.Name, k)
+			}
+		}
+		if serverIngest != float64(sc.Metrics.IngestEvents) {
+			t.Fatalf("%s server counted %.0f ingested events, client %d",
+				sc.Name, serverIngest, sc.Metrics.IngestEvents)
+		}
+		if sc.ServerMetrics["wf_http_request_seconds_count"] <= 0 {
+			t.Fatalf("%s server metrics missing request timings: %v", sc.Name, sc.ServerMetrics)
+		}
 	}
 }
 
@@ -87,6 +108,9 @@ func TestRunReplicaAndClusterTopologies(t *testing.T) {
 		case "replica":
 			if !sc.Metrics.HasReplica || sc.Metrics.ReplicaLagSamples == 0 {
 				t.Fatalf("replica scenario sampled no lag: %+v", sc.Metrics)
+			}
+			if sc.ServerMetrics["wf_wal_appends_total"] <= 0 {
+				t.Fatalf("replica scenario has no WAL appends in server metrics: %v", sc.ServerMetrics)
 			}
 		case "cluster3":
 			if sc.Metrics.HasReplica {

@@ -11,6 +11,7 @@ import (
 	"wfreach/client"
 	"wfreach/internal/api"
 	"wfreach/internal/cluster"
+	"wfreach/internal/obs"
 	"wfreach/internal/replica"
 	"wfreach/internal/service"
 )
@@ -39,6 +40,10 @@ type topo struct {
 	// primary/follower are non-nil exactly for the replica topology.
 	primary  *client.Client
 	follower *client.Client
+	// scrapers holds one plain client per server in the topology; the
+	// harness scrapes each node's /v1/metrics before and after a
+	// scenario and reports the summed deltas as server-side truth.
+	scrapers []*client.Client
 	cleanup  []func()
 }
 
@@ -62,6 +67,13 @@ func serve(h http.Handler) (string, func(), error) {
 	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
+// instrumented serves a registry behind the same request-metrics
+// middleware wfserve installs (logs discarded), so harness scrapes see
+// the full production metric surface, HTTP timings included.
+func instrumented(reg *service.Registry) http.Handler {
+	return obs.AccessLog(service.NewHandler(reg), nil, obs.AccessLogOptions{Metrics: reg.Obs()})
+}
+
 // durableNode starts one durable registry (no fsync — the harness
 // measures the pipeline, not the disk) under dir and serves it.
 func durableNode(dir string) (*service.Registry, string, func(), error) {
@@ -73,7 +85,7 @@ func durableNode(dir string) (*service.Registry, string, func(), error) {
 		_ = reg.Close()
 		return nil, "", nil, err
 	}
-	url, stop, err := serve(service.NewHandler(reg))
+	url, stop, err := serve(instrumented(reg))
 	if err != nil {
 		_ = reg.Close()
 		return nil, "", nil, err
@@ -94,12 +106,13 @@ func launchTopology(kind, scratch string) (*topo, error) {
 	switch kind {
 	case "single":
 		reg := service.NewRegistry()
-		url, stop, err := serve(service.NewHandler(reg))
+		url, stop, err := serve(instrumented(reg))
 		if err != nil {
 			return nil, err
 		}
 		c := client.New(url, client.WithRetry(0, 0))
-		return &topo{kind: kind, write: c, read: c, cleanup: []func(){stop}}, nil
+		return &topo{kind: kind, write: c, read: c,
+			scrapers: []*client.Client{c}, cleanup: []func(){stop}}, nil
 
 	case "replica":
 		pdir, fdir := scratch+"/primary", scratch+"/follower"
@@ -123,12 +136,15 @@ func launchTopology(kind, scratch string) (*topo, error) {
 			MaxBackoff:       100 * time.Millisecond,
 		})
 		f.Start()
+		primary := client.New(purl, client.WithRetry(0, 0))
+		follower := client.New(furl, client.WithRetry(0, 0), client.WithoutWriteRedirect())
 		return &topo{
 			kind:     kind,
 			write:    client.New(purl, client.WithRetry(0, 0)),
 			read:     client.New(furl, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
-			primary:  client.New(purl, client.WithRetry(0, 0)),
-			follower: client.New(furl, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
+			primary:  primary,
+			follower: follower,
+			scrapers: []*client.Client{primary, follower},
 			cleanup:  []func(){pstop, fstop, f.Close},
 		}, nil
 
@@ -167,7 +183,11 @@ func launchTopology(kind, scratch string) (*topo, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return &topo{kind: kind, write: cl, read: cl, cleanup: cleanup}, nil
+		scrapers := make([]*client.Client, 0, len(m.Nodes))
+		for _, n := range m.Nodes {
+			scrapers = append(scrapers, client.New(n.URL, client.WithRetry(0, 0)))
+		}
+		return &topo{kind: kind, write: cl, read: cl, scrapers: scrapers, cleanup: cleanup}, nil
 
 	default:
 		return nil, fmt.Errorf("loadmatrix: unknown topology %q", kind)

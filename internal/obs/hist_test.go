@@ -1,4 +1,4 @@
-package loadmatrix
+package obs
 
 import (
 	"math/rand"

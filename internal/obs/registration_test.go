@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// registration method names on *Registry, paired with the "wf_" name
+// literal every real registration passes first.
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "FloatGauge": true,
+	"Histogram": true, "CounterVec": true, "GaugeVec": true,
+}
+
+// constructorPath reports whether a function is an acceptable
+// registration site: a constructor (New*/new*), package init, or a
+// metrics-struct builder (new…Metrics by convention).
+func constructorPath(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") ||
+		strings.HasPrefix(name, "new")
+}
+
+// TestMetricsRegisterInConstructors walks the module and asserts that
+// every obs instrument registration — a call like
+// reg.Counter("wf_…", …) — sits inside a constructor path, never in a
+// request or apply hot path. Registration takes the registry lock;
+// hot paths must only touch the returned atomics.
+func TestMetricsRegisterInConstructors(t *testing.T) {
+	root := "../.."
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || path == filepath.Join(root, "internal", "obs") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body == nil {
+				continue
+			}
+			var funcName string
+			var body ast.Node = decl
+			if ok {
+				funcName = fn.Name.Name
+				body = fn.Body
+			} else {
+				funcName = "init" // package-level var initializers run at init
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				// A function literal is its enclosing function's path: a
+				// goroutine or handler closure inside New* is NOT a
+				// constructor path unless the literal is called immediately.
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) < 2 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, `"wf_`) {
+					return true
+				}
+				if !constructorPath(funcName) {
+					violations = append(violations,
+						fset.Position(call.Pos()).String()+": "+funcName+" registers "+lit.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("registration outside a constructor path: %s", v)
+	}
+}

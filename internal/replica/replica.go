@@ -41,6 +41,7 @@ import (
 	"wfreach/client"
 	"wfreach/internal/api"
 	"wfreach/internal/integrity"
+	"wfreach/internal/obs"
 	"wfreach/internal/service"
 	"wfreach/internal/spec"
 	"wfreach/internal/wal"
@@ -107,6 +108,10 @@ type sessionState struct {
 	chainOK     bool           // chain is seeded (adopt found a clean resume point)
 	verifiedSeq int64          // highest sequence cross-checked against the primary
 	noVerify    bool           // primary cannot answer /integrity; skip cross-checks
+
+	// behindSince is when a discovery poll first saw this session lag
+	// the primary; zero while caught up. It feeds the lag-seconds gauge.
+	behindSince time.Time
 }
 
 // Follower replicates a primary into the given registry and flips the
@@ -118,6 +123,14 @@ type Follower struct {
 	reg     *service.Registry
 	opts    Options
 	c       *client.Client
+
+	// Lag and verification instruments, re-registered against the
+	// registry's obs families (registration is idempotent — these share
+	// atomics with the families the service pre-creates, so the scrape
+	// carries them whether or not a follower ever ran).
+	lagEvents   *obs.Gauge
+	lagSeconds  *obs.FloatGauge
+	chainFrames *obs.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -145,6 +158,10 @@ func New(primary string, reg *service.Registry, opts Options) *Follower {
 		c:        client.New(primary, client.WithRetry(0, 0), client.WithoutWriteRedirect()),
 		sessions: make(map[string]*sessionState),
 	}
+	o := reg.Obs()
+	f.lagEvents = o.Gauge("wf_replica_lag_events", "Worst follower tail lag across sessions, in events.")
+	f.lagSeconds = o.FloatGauge("wf_replica_lag_seconds", "Approximate follower tail lag, in seconds.")
+	f.chainFrames = o.Counter("wf_chain_verify_frames_total", "WAL frames hashed during chain verification.")
 	reg.SetFollower(primary)
 	reg.SetReplicationHooks(service.ReplicationHooks{Status: f.Status, Promote: f.Promote})
 	return f
@@ -222,8 +239,11 @@ func (f *Follower) Promote(ctx context.Context) error {
 	f.reg.Promote()
 	// Uninstall the hooks: from here on the registry's default status —
 	// live WAL sequences, post-promote sessions included — is the
-	// truth, not this follower's frozen promote-time view.
+	// truth, not this follower's frozen promote-time view. A primary
+	// has no tail lag by definition.
 	f.reg.SetReplicationHooks(service.ReplicationHooks{})
+	f.lagEvents.Set(0)
+	f.lagSeconds.Set(0)
 	f.logf("replica: promoted; now writable")
 	return nil
 }
@@ -333,7 +353,46 @@ func (f *Follower) discoverOnce(ctx context.Context) error {
 		}
 		ss.mu.Unlock()
 	}
+	f.observeLag(stats, time.Now())
 	return nil
+}
+
+// observeLag refreshes the lag gauges from one discovery pass: the
+// worst per-session distance behind the primary in events (the
+// primary's vertex count is its event count — every event labels one
+// vertex), and how long the worst session has been behind. The gauges
+// are poll-grained: lag shorter than one PollInterval may never show.
+func (f *Follower) observeLag(stats []client.SessionStats, now time.Time) {
+	var worstEvents int64
+	var worstSeconds float64
+	for _, pst := range stats {
+		f.mu.Lock()
+		ss := f.sessions[pst.Name]
+		f.mu.Unlock()
+		if ss == nil {
+			continue
+		}
+		ss.mu.Lock()
+		lag := pst.Vertices - ss.applied
+		if ss.stopped || lag <= 0 {
+			ss.behindSince = time.Time{}
+			lag = 0
+		} else if ss.behindSince.IsZero() {
+			ss.behindSince = now
+		}
+		behind := ss.behindSince
+		ss.mu.Unlock()
+		if lag > worstEvents {
+			worstEvents = lag
+		}
+		if !behind.IsZero() {
+			if sec := now.Sub(behind).Seconds(); sec > worstSeconds {
+				worstSeconds = sec
+			}
+		}
+	}
+	f.lagEvents.Set(worstEvents)
+	f.lagSeconds.Set(worstSeconds)
 }
 
 // adopt creates (or re-binds, after a follower restart) the local
@@ -527,6 +586,7 @@ func (f *Follower) tailOnce(ctx context.Context, name string, ss *sessionState, 
 				ss.chainHead = chainer.Extend(ss.chainHead, fr)
 			}
 			ss.chainSeq = lastSeq
+			f.chainFrames.Add(int64(len(frames)))
 		}
 		ss.mu.Unlock()
 		recs, frames, frameBuf = recs[:0], frames[:0], frameBuf[:0]

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"wfreach/client"
 
@@ -286,6 +287,64 @@ func BenchmarkHTTPIngestBinary(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(wire)*b.N), "ns/event")
 	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkHTTPIngestBinaryScraped is the identical saturated binary
+// stream with a concurrent scraper hitting GET /v1/metrics once per
+// second — still 5–15× a production Prometheus cadence. The
+// Binary/BinaryScraped pair prices observability on the hot ingest
+// path (acceptance budget: ≤1%). Note the baseline already carries
+// the always-on instrumentation (hot-path atomics); this pair
+// isolates pure scrape concurrency. It also reports ms/scrape (wall
+// time of one full GET /v1/metrics round-trip under saturated
+// ingest), from which overhead at any cadence follows directly:
+// overhead = scrape_ms × scrapes_per_sec / 1000.
+func BenchmarkHTTPIngestBinaryScraped(b *testing.B) {
+	_, events := benchEvents(b, 8192)
+	_, c, nextSession := benchHTTP(b, true)
+	wire := wireEvents(b, events)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var scrapes atomic.Int64
+	var scrapeNS atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			start := time.Now()
+			if _, err := c.Metrics(ctx); err == nil {
+				scrapes.Add(1)
+				scrapeNS.Add(time.Since(start).Nanoseconds())
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := nextSession()
+		for lo := 0; lo < len(wire); lo += 256 {
+			hi := min(lo+256, len(wire))
+			if _, err := c.IngestFrames(ctx, name, wire[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(wire)*b.N), "ns/event")
+	b.ReportMetric(float64(len(wire)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(scrapes.Load())/b.Elapsed().Seconds(), "scrapes/sec")
+	if n := scrapes.Load(); n > 0 {
+		b.ReportMetric(float64(scrapeNS.Load())/float64(n)/1e6, "ms/scrape")
+	}
 }
 
 // BenchmarkHTTPIngestBinaryNoChain is the identical stream with the

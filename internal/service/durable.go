@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"wfreach/internal/api"
 	"wfreach/internal/arena"
@@ -93,6 +94,7 @@ func NewDurableRegistry(opts DurableOptions) (*Registry, error) {
 	r := NewRegistry()
 	r.durable = &opts
 	r.committer = wal.NewCommitter()
+	r.committer.SetMetrics(r.metrics.wal)
 	return r, nil
 }
 
@@ -210,6 +212,9 @@ func (s *Session) attachWAL(dir string, log *wal.Log, opts *DurableOptions, comm
 	s.wal = log
 	s.committer = committer
 	s.snapEvery = int64(opts.SnapshotEvery)
+	if s.metrics != nil {
+		log.SetMetrics(s.metrics.wal)
+	}
 }
 
 // logRecord appends one successfully labeled event to the WAL. A write
@@ -255,7 +260,9 @@ func (s *Session) logFrame(frame []byte) error {
 // must not block the next batch from labeling and logging. A commit
 // failure poisons the session.
 func (s *Session) commitWAL(log *wal.Log, seq int64) error {
+	start := time.Now()
 	err := s.committer.Commit(log, seq)
+	s.observeCommit(start)
 	if err == nil {
 		return nil
 	}
@@ -316,7 +323,9 @@ func (s *Session) maybeSnapshot() {
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
+		t0 := time.Now()
 		root, err := writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, entries, chainHead, hasChain)
+		s.observeSnapshot(t0, err)
 		s.ingestMu.Lock()
 		s.snapBusy = false
 		if err == nil && events > s.snapEvents {
@@ -393,7 +402,9 @@ func (s *Session) closeWAL(finalSnap bool) error {
 	if finalSnap && behind && err == nil {
 		// Best-effort: a failed snapshot just means the next restore
 		// replays the log, exactly as if the process had crashed here.
-		writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, s.store.SnapshotEntries(), chainHead, hasChain)
+		t0 := time.Now()
+		_, serr := writeArenaSnapshot(filepath.Join(s.dir, snapFile), events, walBytes, s.store.SnapshotEntries(), chainHead, hasChain)
+		s.observeSnapshot(t0, serr)
 	}
 	return err
 }
@@ -627,6 +638,7 @@ func (r *Registry) Restore(dir string) ([]string, error) {
 
 // restoreSession rebuilds one session from its directory.
 func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
+	restoreStart := time.Now()
 	raw, err := os.ReadFile(filepath.Join(sdir, metaFile))
 	if err != nil {
 		return nil, err
@@ -675,6 +687,7 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
 		store:   store.NewSharded(g, cfg.Skeleton, r.shardsFor(cfg)),
 	}
+	s.bindMetrics(r.metrics)
 
 	walPath := filepath.Join(sdir, walFile)
 	s.walPath = walPath
@@ -713,24 +726,31 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 				// forged provenance. The same pass extends the chain over
 				// the replayed tail, re-seeding the head the log continues
 				// from.
+				vstart := time.Now()
+				var vframes int64
 				verr := a.VerifyMerkle()
 				var headWm integrity.Head
 				if verr == nil {
-					if headWm, _, verr = wal.ChainTo(walPath, 0, a.WALBytes(), integrity.Head{}); verr != nil {
+					var n int64
+					if headWm, n, verr = wal.ChainTo(walPath, 0, a.WALBytes(), integrity.Head{}); verr != nil {
 						verr = fmt.Errorf("chain over covered WAL prefix: %w", verr)
 					} else if headWm != anchor {
 						verr = fmt.Errorf("WAL chain head %s at snapshot watermark (record %d) does not match the snapshot's anchor %s: history below the watermark was rewritten", headWm, a.Events(), anchor)
 					}
+					vframes += n
 				}
 				if verr == nil {
-					if chainSeed, _, verr = wal.ChainTo(walPath, a.WALBytes(), validSize, headWm); verr != nil {
+					var n int64
+					if chainSeed, n, verr = wal.ChainTo(walPath, a.WALBytes(), validSize, headWm); verr != nil {
 						verr = fmt.Errorf("chain over WAL tail: %w", verr)
 					}
+					vframes += n
 				}
 				if verr != nil {
 					a.Close()
 					return nil, fmt.Errorf("integrity: %w", verr)
 				}
+				r.metrics.chainVerified(vstart, vframes)
 				seeded = true
 				s.snapRoot, s.snapChain, s.snapIntegrity = root, anchor, true
 			}
@@ -779,9 +799,12 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		// No v3 anchor to verify against (v1/v2 data, or a discarded
 		// arena): hash the valid prefix so the reopened log continues
 		// the chain and the session's next snapshot carries an anchor.
-		if chainSeed, _, err = wal.ChainTo(walPath, 0, validSize, integrity.Head{}); err != nil {
+		vstart := time.Now()
+		var n int64
+		if chainSeed, n, err = wal.ChainTo(walPath, 0, validSize, integrity.Head{}); err != nil {
 			return nil, fmt.Errorf("integrity: chain over WAL: %w", err)
 		}
+		r.metrics.chainVerified(vstart, n)
 	}
 
 	if r.durable != nil {
@@ -800,6 +823,12 @@ func (r *Registry) restoreSession(sdir, dirName string) (*Session, error) {
 		}
 		log.SeedChain(chainSeed)
 		s.attachWAL(sdir, log, r.durable, r.committer)
+	}
+	r.metrics.restores.Inc()
+	r.metrics.restoreSec.Observe(time.Since(restoreStart))
+	if n := int64(s.store.ArenaCount()); n > 0 {
+		r.metrics.arenaMaps.Add(1)
+		r.metrics.arenaVerts.Add(n)
 	}
 	return s, nil
 }

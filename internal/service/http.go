@@ -39,6 +39,7 @@ import (
 //	GET    /v1/sessions/{name}/wal        ?from=S&wait= — tail the WAL (replication)
 //	GET    /v1/replication/status         replication role and per-session progress
 //	POST   /v1/replication/promote        follower → writable primary
+//	GET    /v1/metrics                    Prometheus text exposition (internal/obs)
 //	GET    /v1/cluster/map                the cluster placement map (cluster mode)
 //	GET    /v1/cluster/health             node role, WAL seqs, peer probes
 //	POST   /v1/cluster/move               move a session to another node
@@ -181,6 +182,11 @@ func NewHandler(reg *Registry) http.Handler {
 				}
 			},
 		}},
+		{"/metrics", false, map[string]http.HandlerFunc{
+			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+				reg.Obs().ServeHTTP(w, r)
+			},
+		}},
 		{"/replication/status", false, map[string]http.HandlerFunc{
 			http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusOK, reg.ReplicationStatus())
@@ -256,6 +262,11 @@ func NewHandler(reg *Registry) http.Handler {
 					return
 				}
 				if s := lookup(reg, w, r); s != nil {
+					// Wire-byte accounting at request grain: the body size is
+					// what the client actually shipped, JSON or binary.
+					if r.ContentLength > 0 {
+						s.AddIngestBytes(r.ContentLength)
+					}
 					handleEvents(s, w, r)
 				}
 			},

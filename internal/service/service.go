@@ -43,6 +43,7 @@ import (
 	"wfreach/internal/graph"
 	"wfreach/internal/integrity"
 	"wfreach/internal/label"
+	"wfreach/internal/obs"
 	"wfreach/internal/run"
 	"wfreach/internal/skeleton"
 	"wfreach/internal/spec"
@@ -134,6 +135,14 @@ type Session struct {
 	// CodeReadOnly pointing there, while queries and WAL tails keep
 	// serving the local copy. Guarded by ingestMu.
 	sealed string
+
+	// metrics is the node's instrument set; mEvents/mBytes/mEpoch are
+	// the session's own series, resolved once at bindMetrics so the
+	// ingest path touches cached atomics only.
+	metrics *nodeMetrics
+	mEvents *obs.Counter
+	mBytes  *obs.Counter
+	mEpoch  *obs.Gauge
 }
 
 // Registry is a concurrent name → session map, optionally backed by a
@@ -166,6 +175,9 @@ type Registry struct {
 	// SetClusterHooks); nil means the server is not clustered and the
 	// /v1/cluster surface answers CodeNotClustered.
 	cluster atomic.Pointer[ClusterHooks]
+	// metrics is the node's instrument set (see metrics.go), built once
+	// here — registration is constructor-path only.
+	metrics *nodeMetrics
 }
 
 // ReplicationHooks lets the replica subsystem answer replication
@@ -205,7 +217,11 @@ type ClusterHooks struct {
 
 // NewRegistry returns an empty session registry.
 func NewRegistry() *Registry {
-	return &Registry{sessions: make(map[string]*Session), creating: make(map[string]bool)}
+	return &Registry{
+		sessions: make(map[string]*Session),
+		creating: make(map[string]bool),
+		metrics:  newNodeMetrics(obs.NewRegistry()),
+	}
 }
 
 // SetDefaultShards sets the store shard count used by sessions whose
@@ -253,6 +269,7 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 		labeler: core.NewExecutionLabeler(g, cfg.Skeleton, cfg.Mode),
 		store:   store.NewSharded(g, cfg.Skeleton, r.shardsFor(cfg)),
 	}
+	s.bindMetrics(r.metrics)
 	r.mu.Lock()
 	if _, dup := r.sessions[name]; dup || r.creating[name] {
 		r.mu.Unlock()
@@ -260,6 +277,7 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 	}
 	if r.durable == nil {
 		r.sessions[name] = s
+		r.metrics.sessions.Set(int64(len(r.sessions)))
 		r.mu.Unlock()
 		return s, nil
 	}
@@ -273,6 +291,7 @@ func (r *Registry) Create(name string, g *spec.Grammar, cfg Config) (*Session, e
 	if err == nil {
 		r.sessions[name] = s
 	}
+	r.metrics.sessions.Set(int64(len(r.sessions)))
 	r.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -385,7 +404,15 @@ func (r *Registry) Delete(name string) bool {
 	if ok && s.durable {
 		r.creating[name] = true
 	}
+	r.metrics.sessions.Set(int64(len(r.sessions)))
 	r.mu.Unlock()
+	if ok {
+		r.metrics.forgetSession(name)
+		if n := int64(s.store.ArenaCount()); n > 0 {
+			r.metrics.arenaMaps.Add(-1)
+			r.metrics.arenaVerts.Add(-n)
+		}
+	}
 	if ok && s.durable {
 		s.closeWAL(false) // the directory is about to be removed; no final snapshot
 		os.RemoveAll(s.dir)
@@ -669,6 +696,10 @@ func (s *Session) publishStaged(staged []store.Entry) {
 	}
 	s.store.Publish()
 	s.vertices.Add(int64(len(staged)))
+	if s.mEvents != nil {
+		s.mEvents.Add(int64(len(staged)))
+		s.mEpoch.Set(s.store.Epoch())
+	}
 }
 
 // finishLocked publishes the applied prefix, releases the ingest lock,

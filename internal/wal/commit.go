@@ -24,6 +24,7 @@ type Committer struct {
 	leading bool
 	pending map[*Log]int64 // highest requested append sequence per log
 	errs    map[*Log]error // first commit failure per log; permanent
+	metrics *Metrics       // optional round-size instruments (SetMetrics)
 }
 
 // NewCommitter returns an empty commit coordinator.
@@ -74,6 +75,10 @@ func (c *Committer) lead() {
 	for len(c.pending) > 0 {
 		batch := c.pending
 		c.pending = make(map[*Log]int64)
+		if c.metrics != nil {
+			c.metrics.CommitRounds.Inc()
+			c.metrics.CommitLogs.Add(int64(len(batch)))
+		}
 		c.mu.Unlock()
 
 		type outcome struct {

@@ -43,6 +43,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wfreach/internal/core"
 	"wfreach/internal/graph"
@@ -360,6 +361,10 @@ type Log struct {
 	chainPend []byte // raw frames appended since the last fold
 	chainLens []int  // frame lengths within chainPend
 	chainer   *integrity.Chainer
+
+	// metrics, when attached, counts appends and observes flush/fsync
+	// latency. Guarded by mu; set once at open (SetMetrics).
+	metrics *Metrics
 }
 
 // AppendSeq returns the sequence of the last record appended so far
@@ -510,6 +515,9 @@ func (l *Log) advanceChainLocked() {
 		off += n
 		l.chainSeq++
 	}
+	if l.metrics != nil {
+		l.metrics.ChainedFrames.Add(int64(len(l.chainLens)))
+	}
 	l.chainPend = l.chainPend[:0]
 	l.chainLens = l.chainLens[:0]
 }
@@ -525,6 +533,14 @@ func (l *Log) Append(rec Record) error {
 	if l.closed {
 		return errClosed
 	}
+	// Sampled append timing: one in appendSampleEvery appends pays the
+	// two clock reads, keeping the distribution representative without
+	// taxing saturated ingest.
+	var t0 time.Time
+	sample := l.metrics != nil && (l.appendSeq.Load()+1)%appendSampleEvery == 0
+	if sample {
+		t0 = time.Now()
+	}
 	var err error
 	if l.buf, err = AppendFrame(l.buf[:0], rec); err != nil {
 		return err
@@ -538,6 +554,13 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.appendSeq.Add(1)
 	l.appendBytes.Add(int64(len(l.buf)))
+	if l.metrics != nil {
+		l.metrics.Appends.Inc()
+		l.metrics.AppendedBytes.Add(int64(len(l.buf)))
+		if sample {
+			l.metrics.AppendLatency.Add(time.Since(t0))
+		}
+	}
 	return nil
 }
 
@@ -561,6 +584,11 @@ func (l *Log) AppendRaw(frame []byte) error {
 	if l.closed {
 		return errClosed
 	}
+	var t0 time.Time
+	sample := l.metrics != nil && (l.appendSeq.Load()+1)%appendSampleEvery == 0
+	if sample {
+		t0 = time.Now()
+	}
 	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -570,6 +598,13 @@ func (l *Log) AppendRaw(frame []byte) error {
 	}
 	l.appendSeq.Add(1)
 	l.appendBytes.Add(int64(len(frame)))
+	if l.metrics != nil {
+		l.metrics.Appends.Inc()
+		l.metrics.AppendedBytes.Add(int64(len(frame)))
+		if sample {
+			l.metrics.AppendLatency.Add(time.Since(t0))
+		}
+	}
 	return nil
 }
 
@@ -595,6 +630,10 @@ func (l *Log) flushLocked(sync bool) error {
 	if l.closed {
 		return errClosed
 	}
+	start := time.Time{}
+	if l.metrics != nil {
+		start = time.Now()
+	}
 	// One batched hash pass per flush round: the records of every
 	// batch acknowledged by this round enter the chain here, not one
 	// by one on the ingest path.
@@ -602,10 +641,21 @@ func (l *Log) flushLocked(sync bool) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	var fsyncDur time.Duration
 	if sync {
+		t0 := start
+		if l.metrics != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		if l.metrics != nil {
+			fsyncDur = time.Since(t0)
+		}
+	}
+	if l.metrics != nil {
+		l.metrics.observeFlush(time.Since(start), fsyncDur, sync)
 	}
 	// Appends hold mu, so everything counted by appendSeq is in the
 	// file now; publish it to DurableSeq readers and wake tailers.

@@ -35,6 +35,7 @@ package wfreach
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -45,6 +46,7 @@ import (
 	"wfreach/internal/gen"
 	"wfreach/internal/graph"
 	"wfreach/internal/label"
+	"wfreach/internal/obs"
 	"wfreach/internal/replica"
 	"wfreach/internal/run"
 	"wfreach/internal/service"
@@ -210,6 +212,30 @@ var ErrDurability = service.ErrDurability
 // NewServiceHandler returns the JSON/HTTP handler serving the registry
 // (the cmd/wfserve API; see internal/service for the endpoints).
 func NewServiceHandler(r *Registry) http.Handler { return service.NewHandler(r) }
+
+// Observability (see internal/obs): the dependency-free metrics
+// registry behind GET /v1/metrics, and logfmt structured request
+// logging for the HTTP surface.
+type (
+	// MetricsRegistry is a node's metric family set; Registry.Obs()
+	// returns the one the service plane registers into.
+	MetricsRegistry = obs.Registry
+	// ObsLogger writes logfmt lines (ts, level, msg, key=value...).
+	ObsLogger = obs.Logger
+	// AccessLogOptions tunes the request-logging middleware.
+	AccessLogOptions = obs.AccessLogOptions
+)
+
+// NewObsLogger returns a logfmt logger writing to w (nil discards).
+func NewObsLogger(w io.Writer) *ObsLogger { return obs.NewLogger(w) }
+
+// AccessLog wraps an HTTP handler with structured request logging —
+// one logfmt line per request (id, method, route, status, bytes,
+// duration), a warn line for requests slower than opts.Slow, and
+// request counters/latency in opts.Metrics when set.
+func AccessLog(next http.Handler, l *ObsLogger, opts AccessLogOptions) http.Handler {
+	return obs.AccessLog(next, l, opts)
+}
 
 // Replication: a follower tails a primary wfserve's write-ahead logs
 // and serves the same query surface read-only (see internal/replica).
